@@ -1,0 +1,79 @@
+// Command figures regenerates the paper's evaluation figures as text
+// tables (and optional TSV series): the Figure-3 stride scan, the
+// Figure-9 radix-cluster sweep, the isolated join sweeps of Figures 10
+// and 11, the overall comparisons of Figures 12 and 13, and the §3.2
+// selection/aggregation ablations.
+//
+// Usage:
+//
+//	figures [-fig all|1|3|9|10|11|12|13|sel|agg] [-full] [-huge]
+//	        [-machine origin2k] [-tsv DIR] [-budget N] [-card N]
+//
+// The default quick scale caps cardinalities near one million tuples;
+// -full selects the paper-scale 8M sweeps and -huge adds the 64M
+// points (several GB of memory, long runtime — the paper capped such
+// runs at 15 minutes; this harness uses a simulated-access budget).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"monetlite"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 3, 9, 10, 11, 12, 13, sel, agg, vm, skew, prefetch, modern")
+	full := flag.Bool("full", false, "paper-scale cardinalities (8M-tuple sweeps)")
+	huge := flag.Bool("huge", false, "additionally run the 64M-tuple points")
+	machine := flag.String("machine", "origin2k", "machine profile: origin2k, sun450, ultra, sunLX, modern")
+	tsv := flag.String("tsv", "", "directory for TSV series (optional)")
+	budget := flag.Uint64("budget", 0, "simulated-access budget per point (0 = default 2e9)")
+	card := flag.Int("card", 0, "override every cardinality sweep with one cardinality")
+	seed := flag.Uint64("seed", 1999, "workload seed")
+	flag.Parse()
+
+	m, err := monetlite.MachineByName(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := monetlite.FigureConfig{
+		Machine:      m,
+		Out:          os.Stdout,
+		Full:         *full,
+		Huge:         *huge,
+		TSVDir:       *tsv,
+		Budget:       *budget,
+		CardOverride: *card,
+		Seed:         *seed,
+	}
+
+	runners := map[string]func(monetlite.FigureConfig) error{
+		"all":      monetlite.RunFigures,
+		"1":        monetlite.Fig1,
+		"3":        monetlite.Fig3,
+		"9":        monetlite.Fig9,
+		"10":       monetlite.Fig10,
+		"11":       monetlite.Fig11,
+		"12":       monetlite.Fig12,
+		"13":       monetlite.Fig13,
+		"sel":      monetlite.SelAblation,
+		"agg":      monetlite.AggAblation,
+		"vm":       monetlite.VMAblation,
+		"bits":     monetlite.BitSplitAblation,
+		"skew":     monetlite.SkewAblation,
+		"prefetch": monetlite.PrefetchAblation,
+		"modern":   monetlite.ModernAblation,
+	}
+	run, ok := runners[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q\n", *fig)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

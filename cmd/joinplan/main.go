@@ -1,0 +1,75 @@
+// Command joinplan is the §3.4.4 strategy planner as a tool: for a
+// given cardinality and machine it prints, per strategy, the radix
+// bits B and passes P it prescribes and the cost-model prediction
+// (CPU work, expected L1/L2/TLB misses, total milliseconds), then the
+// model-optimal choice — what a Monet query optimizer armed with the
+// paper's cost models would pick.
+//
+// Usage:
+//
+//	joinplan [-c 8000000] [-machine origin2k]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"monetlite"
+)
+
+func main() {
+	card := flag.Int("c", 8_000_000, "join cardinality (tuples per operand)")
+	machine := flag.String("machine", "origin2k", "machine profile")
+	flag.Parse()
+
+	m, err := monetlite.MachineByName(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *card <= 0 {
+		fmt.Fprintln(os.Stderr, "joinplan: cardinality must be positive")
+		os.Exit(2)
+	}
+
+	fmt.Printf("join of two %d-tuple relations on %s (L1 %dKB/%dB lines, L2 %dMB/%dB lines, TLB %d×%dKB)\n\n",
+		*card, m.Name,
+		m.L1.Size>>10, m.L1.LineSize, m.L2.Size>>20, m.L2.LineSize,
+		m.TLB.Entries, m.TLB.PageSize>>10)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\tbits\tpasses\tpredicted ms\tCPU ms\tL1 misses\tL2 misses\tTLB misses")
+	best := monetlite.PlanAuto(*card, m)
+	for _, s := range monetlite.Strategies() {
+		plan := monetlite.NewPlan(s, *card, m)
+		b := predict(plan, *card, m)
+		marker := ""
+		if plan.Strategy == best.Strategy && plan.Bits == best.Bits {
+			marker = "  <- auto pick"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.1f\t%.2e\t%.2e\t%.2e%s\n",
+			plan.Strategy, plan.Bits, plan.Passes,
+			b.Millis(m), b.CPUNanos/1e6, b.L1Misses, b.L2Misses, b.TLBMisses, marker)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "joinplan:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nplan: %s\n", best)
+}
+
+func predict(p monetlite.Plan, c int, m monetlite.Machine) monetlite.Breakdown {
+	model := monetlite.NewCostModel(m)
+	switch p.Strategy {
+	case monetlite.SortMerge:
+		return model.SortMergeTotal(c)
+	case monetlite.SimpleHash:
+		return model.SimpleHashTotal(c)
+	case monetlite.Radix8, monetlite.RadixMin:
+		return model.RadixTotal(p.Bits, c)
+	default:
+		return model.PhashTotal(p.Bits, c)
+	}
+}

@@ -1,0 +1,65 @@
+// Command scanbench runs the paper's §2 "reality check" interactively:
+// a simulated in-memory scan reading one byte at a varying stride,
+// reporting elapsed time, miss counts, the cycle split between CPU
+// work and memory stalls, and the T(s) model prediction.
+//
+// Usage:
+//
+//	scanbench [-machine origin2k] [-iters 200000] [-strides 1,8,32,128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"monetlite"
+)
+
+func main() {
+	machine := flag.String("machine", "origin2k", "machine profile (origin2k, sun450, ultra, sunLX, modern)")
+	iters := flag.Int("iters", monetlite.ScanIterations, "iterations (the paper uses 200000)")
+	strides := flag.String("strides", "1,2,4,8,16,32,64,128,256", "comma-separated strides in bytes")
+	flag.Parse()
+
+	m, err := monetlite.MachineByName(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var ss []int
+	for _, f := range strings.Split(*strides, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "scanbench: bad stride %q\n", f)
+			os.Exit(2)
+		}
+		ss = append(ss, v)
+	}
+
+	model := monetlite.NewCostModel(m)
+	fmt.Printf("%s: %d-iteration scan, one byte per iteration (cold caches)\n\n", m.Name, *iters)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "stride\tms\tmodel ms\tL1 miss/iter\tL2 miss/iter\tcycles cpu\tcycles stall\tstall %")
+	for _, s := range ss {
+		r, err := monetlite.StrideScan(m, s, *iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scanbench:", err)
+			os.Exit(1)
+		}
+		work := r.Stats.CPUNanos / float64(*iters) * m.CyclesPerNano()
+		stall := r.Stats.StallNanos / float64(*iters) * m.CyclesPerNano()
+		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%.3f\t%.3f\t%.1f\t%.1f\t%.0f%%\n",
+			s, r.Millis(), model.ScanNanos(*iters, s)/1e6,
+			float64(r.Stats.L1Misses)/float64(*iters),
+			float64(r.Stats.L2Misses)/float64(*iters),
+			work, stall, 100*stall/(work+stall))
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "scanbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Joinlab: a shoot-out of every join algorithm in the paper at one
+// cardinality — simulated time, miss counts, and the cost-model
+// prediction side by side (the Figure 13 story in miniature).
+//
+// Run with:
+//
+//	go run ./examples/joinlab [-c 1000000] [-machine origin2k]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"monetlite"
+)
+
+func main() {
+	card := flag.Int("c", 1_000_000, "tuples per join operand")
+	machineName := flag.String("machine", "origin2k", "machine profile")
+	flag.Parse()
+
+	machine, err := monetlite.MachineByName(*machineName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := monetlite.NewCostModel(machine)
+	fmt.Printf("equi-join of two %d-tuple relations (hit rate 1) on %s\n\n", *card, machine.Name)
+
+	l, r := monetlite.JoinInputs(*card, 7)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\tplan\tsim ms\tmodel ms\tL1\tL2\tTLB\tnative")
+	for _, s := range monetlite.Strategies() {
+		plan := monetlite.NewPlan(s, *card, machine)
+
+		// Native wall clock.
+		l.Unbind()
+		r.Unbind()
+		t0 := time.Now()
+		res, err := monetlite.Execute(nil, l, r, plan, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		native := time.Since(t0)
+		if res.Len() != *card {
+			log.Fatalf("%v: wrong result size %d", s, res.Len())
+		}
+
+		// Simulated counters.
+		sim, err := monetlite.NewSim(machine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l.Unbind()
+		r.Unbind()
+		if _, err := monetlite.Execute(sim, l, r, plan, nil); err != nil {
+			log.Fatal(err)
+		}
+		st := sim.Stats()
+
+		// Model prediction for the same plan.
+		var predicted monetlite.Breakdown
+		switch s {
+		case monetlite.SortMerge:
+			predicted = model.SortMergeTotal(*card)
+		case monetlite.SimpleHash:
+			predicted = model.SimpleHashTotal(*card)
+		case monetlite.Radix8, monetlite.RadixMin:
+			predicted = model.RadixTotal(plan.Bits, *card)
+		default:
+			predicted = model.PhashTotal(plan.Bits, *card)
+		}
+
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%.2e\t%.2e\t%.2e\t%v\n",
+			s, plan, st.ElapsedMillis(), predicted.Millis(machine),
+			float64(st.L1Misses), float64(st.L2Misses), float64(st.TLBMisses),
+			native.Round(time.Millisecond))
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nauto plan: %s\n", monetlite.PlanAuto(*card, machine))
+}

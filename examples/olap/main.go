@@ -1,0 +1,94 @@
+// OLAP example: the Figure-4 "Item" table, decomposed into BATs with
+// virtual OIDs and byte encodings, answering
+//
+//	SELECT shipmode, COUNT(*), SUM(price * (1 - discnt))
+//	FROM   item
+//	WHERE  date1 BETWEEN 8500 AND 9499
+//	GROUP  BY shipmode
+//
+// and quantifying why vertical decomposition wins: the same
+// one-column scan costs far less at stride 1 (encoded byte) than at
+// stride 8 (BUN) or stride ~80+ (N-ary relational record).
+//
+// Run with:
+//
+//	go run ./examples/olap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"monetlite"
+)
+
+func main() {
+	const rows = 1 << 20
+
+	table, err := monetlite.ItemTable(rows, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("item table: %d rows, %d columns\n", table.N, len(table.Columns()))
+	fmt.Printf("  N-ary record width : %d bytes\n", table.Schema.RowWidth())
+	fmt.Printf("  decomposed width   : %d bytes/tuple total", table.BUNWidth())
+	sm, err := table.Column("shipmode")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf(" (shipmode stored in %d byte via dictionary %v)\n\n", sm.Width(), sm.Enc.Dict)
+
+	// The query, instrumented on the Origin2000 profile.
+	machine := monetlite.Origin2000()
+	sim, err := monetlite.NewSim(machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table.Bind(sim)
+
+	oids, err := table.SelectRange(sim, "date1", 8500, 9499)
+	if err != nil {
+		log.Fatal(err)
+	}
+	discnt, err := table.GatherFloat(sim, "discnt", oids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	i := 0
+	result, err := table.GroupAggregate(sim, "shipmode", "price", oids, func(price float64) float64 {
+		v := price * (1 - discnt[i])
+		i++
+		return v
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query: %d of %d rows qualify; revenue by shipmode:\n", len(oids), rows)
+	for _, r := range result {
+		fmt.Printf("  %-8s  count=%7d  sum=%14.2f  avg=%8.2f\n", r.Key, r.Count, r.Sum, r.Sum/float64(r.Count))
+	}
+	st := sim.Stats()
+	fmt.Printf("\nsimulated cost on %s: %.1f ms (L1 %d, L2 %d, TLB %d misses)\n\n",
+		machine.Name, st.ElapsedMillis(), st.L1Misses, st.L2Misses, st.TLBMisses)
+
+	// §3.1 quantified: the same single-column aggregate under three
+	// physical layouts.
+	nsm, bun, dsmStats, err := table.ScanColumnStats(machine, "shipmode")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scanning ONE column of this table (simulated, cold caches):")
+	fmt.Printf("  N-ary records (%3d B/tuple): %7.1f ms\n", table.Schema.RowWidth(), nsm.ElapsedMillis())
+	fmt.Printf("  8-byte BUNs   (  8 B/tuple): %7.1f ms\n", bun.ElapsedMillis())
+	fmt.Printf("  encoded bytes (  1 B/tuple): %7.1f ms  <- %0.1fx faster than N-ary\n",
+		dsmStats.ElapsedMillis(), nsm.ElapsedNanos()/dsmStats.ElapsedNanos())
+
+	// The §3.1 predicate re-mapping: selecting a string never decodes.
+	mail, err := table.SelectString(nil, "shipmode", "MAIL")
+	if err != nil {
+		log.Fatal(err)
+	}
+	code, _ := sm.Enc.Code("MAIL")
+	fmt.Printf("\npredicate shipmode='MAIL' re-mapped to byte code %d: %d rows\n", code, len(mail))
+}

@@ -1,0 +1,275 @@
+// Package agg implements the two grouping/aggregation algorithms the
+// paper contrasts in §3.2: hash-grouping — one scan keeping a
+// temporary hash table of aggregate totals, superior as long as the
+// table fits the memory caches — and sort/merge grouping, which first
+// sorts the relation on the GROUP-BY attribute (random access over the
+// entire relation) and then scans.
+//
+// Inputs are decomposed columns: a group-key column (typically a 1- or
+// 2-byte encoded code column over a void head, as in Figure 4) and a
+// measure column.
+package agg
+
+import (
+	"fmt"
+	"sort"
+
+	"monetlite/internal/bat"
+	"monetlite/internal/memsim"
+	"monetlite/internal/sortx"
+)
+
+// GroupResult holds one aggregate row per distinct group key, in
+// first-seen order for HashGroup and key-bit order for SortGroup; use
+// Sorted for a canonical order.
+type GroupResult struct {
+	Key   []int64
+	Count []int64
+	Sum   []float64
+	Min   []float64
+	Max   []float64
+}
+
+// Groups returns the number of distinct groups.
+func (g *GroupResult) Groups() int { return len(g.Key) }
+
+// Sorted returns the result rows reordered by ascending key.
+func (g *GroupResult) Sorted() *GroupResult {
+	idx := make([]int, len(g.Key))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return g.Key[idx[a]] < g.Key[idx[b]] })
+	out := &GroupResult{
+		Key:   make([]int64, len(idx)),
+		Count: make([]int64, len(idx)),
+		Sum:   make([]float64, len(idx)),
+		Min:   make([]float64, len(idx)),
+		Max:   make([]float64, len(idx)),
+	}
+	for i, j := range idx {
+		out.Key[i] = g.Key[j]
+		out.Count[i] = g.Count[j]
+		out.Sum[i] = g.Sum[j]
+		out.Min[i] = g.Min[j]
+		out.Max[i] = g.Max[j]
+	}
+	return out
+}
+
+func validate(keys bat.Vector, measure *bat.F64Vec) error {
+	if keys == nil || measure == nil {
+		return fmt.Errorf("agg: nil column")
+	}
+	if keys.Len() != measure.Len() {
+		return fmt.Errorf("agg: key column length %d != measure length %d", keys.Len(), measure.Len())
+	}
+	return nil
+}
+
+// groupTable is a bucket-chained hash table from group key to slot in
+// the aggregate arrays; all state lives in flat arrays with simulated
+// addresses so the experiments can count its cache behaviour. The
+// bucket array grows with the number of groups seen — the table's
+// footprint is what §3.2's "this hash-table fits the L2 cache, and
+// probably also the L1 cache" refers to, so it must scale with G, not
+// with the relation.
+type groupTable struct {
+	mask uint32
+	head []int32
+	next []int32
+	keys []int64
+
+	headBase uint64
+	entBase  uint64 // entries: 12 bytes (key 8 + next 4)
+	aggBase  uint64 // aggregate rows: 32 bytes (count, sum, min, max)
+}
+
+func newGroupTable(sim *memsim.Sim, capEntries int) *groupTable {
+	const initialBuckets = 16
+	t := &groupTable{
+		mask: initialBuckets - 1,
+		head: make([]int32, initialBuckets),
+	}
+	for i := range t.head {
+		t.head[i] = -1
+	}
+	if sim != nil {
+		t.headBase = sim.Alloc(4 * initialBuckets)
+		t.entBase = sim.Alloc(12 * capEntries)
+		t.aggBase = sim.Alloc(32 * capEntries)
+	}
+	return t
+}
+
+func (t *groupTable) bucket(key int64) uint32 {
+	return uint32(uint64(key)*0x9e3779b97f4a7c15>>33) & t.mask
+}
+
+// grow quadruples the bucket array and re-links all entries; the new
+// head region gets fresh simulated addresses (a realloc).
+func (t *groupTable) grow(sim *memsim.Sim) {
+	buckets := (int(t.mask) + 1) * 4
+	t.mask = uint32(buckets - 1)
+	t.head = make([]int32, buckets)
+	if sim != nil {
+		t.headBase = sim.Alloc(4 * buckets)
+	}
+	for i := range t.head {
+		t.head[i] = -1
+		if sim != nil {
+			sim.Write(t.headBase+uint64(i)*4, 4)
+		}
+	}
+	for e := range t.keys {
+		h := t.bucket(t.keys[e])
+		if sim != nil {
+			sim.Read(t.entBase+uint64(e)*12, 12)
+			sim.Write(t.entBase+uint64(e)*12, 12)
+			sim.Write(t.headBase+uint64(h)*4, 4)
+		}
+		t.next[e] = t.head[h]
+		t.head[h] = int32(e)
+	}
+}
+
+// slot finds or creates the aggregate slot for key, mirroring the
+// chain walk into sim.
+func (t *groupTable) slot(sim *memsim.Sim, key int64) int32 {
+	h := t.bucket(key)
+	if sim != nil {
+		sim.Read(t.headBase+uint64(h)*4, 4)
+	}
+	for e := t.head[h]; e != -1; e = t.next[e] {
+		if sim != nil {
+			sim.Read(t.entBase+uint64(e)*12, 12)
+		}
+		if t.keys[e] == key {
+			return e
+		}
+	}
+	if len(t.keys) >= 2*(int(t.mask)+1) {
+		t.grow(sim)
+		h = t.bucket(key)
+	}
+	e := int32(len(t.keys))
+	t.keys = append(t.keys, key)
+	t.next = append(t.next, t.head[h])
+	t.head[h] = e
+	if sim != nil {
+		sim.Write(t.entBase+uint64(e)*12, 12)
+		sim.Write(t.headBase+uint64(h)*4, 4)
+	}
+	return e
+}
+
+// HashGroup aggregates measure per distinct key in one scan with a
+// temporary hash table (§3.2). The table's footprint is proportional
+// to the number of groups; while that fits L2 (and ideally L1), every
+// aggregate update is a cache hit.
+func HashGroup(sim *memsim.Sim, keys bat.Vector, measure *bat.F64Vec) (*GroupResult, error) {
+	if err := validate(keys, measure); err != nil {
+		return nil, err
+	}
+	keys.Bind(sim)
+	measure.Bind(sim)
+	n := keys.Len()
+	t := newGroupTable(sim, n)
+	res := &GroupResult{}
+	var wTuple float64
+	if sim != nil {
+		wTuple = sim.Machine().Cost.WScanBUN
+	}
+	for i := 0; i < n; i++ {
+		keys.Touch(sim, i)
+		measure.Touch(sim, i)
+		k := keys.Int(i)
+		v := measure.Float(i)
+		s := t.slot(sim, k)
+		if int(s) == len(res.Key) {
+			res.Key = append(res.Key, k)
+			res.Count = append(res.Count, 0)
+			res.Sum = append(res.Sum, 0)
+			res.Min = append(res.Min, v)
+			res.Max = append(res.Max, v)
+		}
+		if sim != nil {
+			// Read-modify-write of the 32-byte aggregate row.
+			sim.Read(t.aggBase+uint64(s)*32, 32)
+			sim.Write(t.aggBase+uint64(s)*32, 32)
+			sim.AddCPU(1, wTuple)
+		}
+		res.Count[s]++
+		res.Sum[s] += v
+		if v < res.Min[s] {
+			res.Min[s] = v
+		}
+		if v > res.Max[s] {
+			res.Max[s] = v
+		}
+	}
+	return res, nil
+}
+
+// SortGroup aggregates by first sorting (radix sort on the key bits)
+// and then scanning groups off the sorted run — the sort/merge
+// strategy of §3.2, whose sort phase has random access behaviour over
+// the entire relation.
+func SortGroup(sim *memsim.Sim, keys bat.Vector, measure *bat.F64Vec) (*GroupResult, error) {
+	if err := validate(keys, measure); err != nil {
+		return nil, err
+	}
+	keys.Bind(sim)
+	measure.Bind(sim)
+	n := keys.Len()
+	// Materialize (key, row) pairs and sort them by key bits; the
+	// measure is gathered through the row index afterwards — the
+	// "sort is done on the entire relation to be grouped" cost.
+	pairs := bat.NewPairs(n)
+	pairs.Bind(sim)
+	var wTuple float64
+	if sim != nil {
+		wTuple = sim.Machine().Cost.WScanBUN
+	}
+	for i := 0; i < n; i++ {
+		keys.Touch(sim, i)
+		if sim != nil {
+			sim.Write(pairs.Addr(i), bat.PairSize)
+			sim.AddCPU(1, wTuple)
+		}
+		pairs.BUNs[i] = bat.Pair{Head: bat.Oid(i), Tail: uint32(keys.Int(i))}
+	}
+	sortx.SortPairs(sim, pairs, nil)
+	if sim != nil {
+		sim.AddCPU(4*n, sim.Machine().Cost.Wc)
+	}
+	res := &GroupResult{}
+	for i := 0; i < n; i++ {
+		if sim != nil {
+			sim.Read(pairs.Addr(i), bat.PairSize)
+			sim.AddCPU(1, wTuple)
+		}
+		bun := pairs.BUNs[i]
+		row := int(bun.Head)
+		measure.Touch(sim, row) // random gather through the OID
+		v := measure.Float(row)
+		k := keys.Int(row)
+		if i == 0 || uint32(res.Key[len(res.Key)-1]) != bun.Tail {
+			res.Key = append(res.Key, k)
+			res.Count = append(res.Count, 0)
+			res.Sum = append(res.Sum, 0)
+			res.Min = append(res.Min, v)
+			res.Max = append(res.Max, v)
+		}
+		s := len(res.Key) - 1
+		res.Count[s]++
+		res.Sum[s] += v
+		if v < res.Min[s] {
+			res.Min[s] = v
+		}
+		if v > res.Max[s] {
+			res.Max[s] = v
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package bat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Encoding is the result of byte-encoding a low-cardinality column
+// (§3.1): a fixed-size 1- or 2-byte code column plus the decoding BAT
+// mapping codes back to values. Predicates on the original values are
+// re-mapped to predicates on codes (e.g. a selection on the string
+// "MAIL" becomes a selection on one byte), so no per-tuple decoding
+// effort is spent during scans.
+type Encoding struct {
+	Codes Vector   // I8Vec or I16Vec of dictionary codes
+	Dict  []string // code → value, sorted, so code order = value order
+}
+
+// MaxEncodableCardinality is the largest domain a 2-byte encoding can
+// hold. Columns above it are left unencoded.
+const MaxEncodableCardinality = 1 << 16
+
+// Encode dictionary-encodes a string column into the smallest fixed
+// integer width that fits its domain cardinality: 1 byte up to 256
+// distinct values, 2 bytes up to 65536. It returns an error beyond
+// that, where the paper's fixed-size scheme stops paying off.
+//
+// The dictionary is sorted, so range predicates on values translate to
+// range predicates on codes.
+func Encode(values []string) (*Encoding, error) {
+	set := make(map[string]struct{}, 64)
+	for _, v := range values {
+		set[v] = struct{}{}
+	}
+	if len(set) > MaxEncodableCardinality {
+		return nil, fmt.Errorf("bat: domain cardinality %d exceeds 2-byte encoding", len(set))
+	}
+	dict := make([]string, 0, len(set))
+	for v := range set {
+		dict = append(dict, v)
+	}
+	sort.Strings(dict)
+	code := make(map[string]int, len(dict))
+	for i, v := range dict {
+		code[v] = i
+	}
+	enc := &Encoding{Dict: dict}
+	if len(dict) <= 1<<8 {
+		codes := make([]int8, len(values))
+		for i, v := range values {
+			codes[i] = int8(code[v])
+		}
+		enc.Codes = NewI8(codes)
+	} else {
+		codes := make([]int16, len(values))
+		for i, v := range values {
+			codes[i] = int16(code[v])
+		}
+		enc.Codes = NewI16(codes)
+	}
+	return enc, nil
+}
+
+// Code returns the dictionary code for value, or ok=false when the
+// value is not in the domain (a selection on it is empty).
+func (e *Encoding) Code(value string) (int64, bool) {
+	i := sort.SearchStrings(e.Dict, value)
+	if i < len(e.Dict) && e.Dict[i] == value {
+		return int64(i), true
+	}
+	return 0, false
+}
+
+// Decode returns the value for a code. Codes stored in the 1-/2-byte
+// columns widen sign-extended through Vector.Int; Decode interprets
+// them unsigned, matching Encode's assignment.
+func (e *Encoding) Decode(code int64) string {
+	if code < 0 {
+		if len(e.Dict) > 1<<8 {
+			code += 1 << 16
+		} else {
+			code += 1 << 8
+		}
+	}
+	return e.Dict[code]
+}
+
+// DecodeAll materializes the original string column (used only by
+// result presentation, never inside scans).
+func (e *Encoding) DecodeAll() []string {
+	out := make([]string, e.Codes.Len())
+	for i := range out {
+		out[i] = e.Decode(e.Codes.Int(i))
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package bat
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeOneByte(t *testing.T) {
+	vals := []string{"MAIL", "AIR", "SHIP", "AIR", "MAIL", "TRUCK", "AIR"}
+	enc, err := Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Codes.Type() != TI8 {
+		t.Errorf("codes type = %v, want i8", enc.Codes.Type())
+	}
+	if enc.Codes.Width() != 1 {
+		t.Errorf("codes width = %d, want 1 byte (Figure 4)", enc.Codes.Width())
+	}
+	got := enc.DecodeAll()
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("roundtrip[%d] = %q, want %q", i, got[i], vals[i])
+		}
+	}
+	// Sorted dictionary: code order equals value order.
+	for i := 1; i < len(enc.Dict); i++ {
+		if enc.Dict[i-1] >= enc.Dict[i] {
+			t.Error("dictionary not strictly sorted")
+		}
+	}
+}
+
+func TestEncodeTwoByte(t *testing.T) {
+	vals := make([]string, 1000)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%04d", i%500)
+	}
+	enc, err := Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Codes.Type() != TI16 {
+		t.Errorf("codes type = %v, want i16 for 500 distinct values", enc.Codes.Type())
+	}
+	got := enc.DecodeAll()
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("roundtrip[%d] = %q, want %q", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestEncodeSignExtension(t *testing.T) {
+	// 200 distinct values: codes 128..199 are negative int8s; decode
+	// must treat them unsigned.
+	vals := make([]string, 200)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("x%03d", i)
+	}
+	enc, err := Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got := enc.Decode(enc.Codes.Int(i)); got != vals[i] {
+			t.Fatalf("Decode(code[%d]) = %q, want %q", i, got, vals[i])
+		}
+	}
+}
+
+func TestEncodeCardinalityLimit(t *testing.T) {
+	vals := make([]string, MaxEncodableCardinality+1)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("k%06d", i)
+	}
+	if _, err := Encode(vals); err == nil {
+		t.Error("over-limit cardinality accepted")
+	}
+}
+
+func TestEncodingCodeLookup(t *testing.T) {
+	enc, err := Encode([]string{"AIR", "MAIL", "SHIP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, ok := enc.Code("MAIL")
+	if !ok {
+		t.Fatal("MAIL not found")
+	}
+	if enc.Decode(code) != "MAIL" {
+		t.Errorf("Decode(Code(MAIL)) = %q", enc.Decode(code))
+	}
+	if _, ok := enc.Code("WARP"); ok {
+		t.Error("out-of-domain value found")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary small-domain columns.
+func TestEncodeRoundtripProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		vals := make([]string, len(raw))
+		for i, x := range raw {
+			vals[i] = fmt.Sprintf("s%d", x%50)
+		}
+		enc, err := Encode(vals)
+		if err != nil {
+			return false
+		}
+		got := enc.DecodeAll()
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

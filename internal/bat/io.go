@@ -1,0 +1,130 @@
+package bat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The on-disk BAT format: Monet treats disk as the bottom of the
+// memory hierarchy and maps BATs straight into memory (§4); this
+// package gives the same contiguous-BUN image a portable header so
+// workloads (e.g. the 64M-tuple experiment inputs) can be generated
+// once and reloaded.
+//
+//	offset  size  field
+//	0       4     magic "BATP"
+//	4       4     format version (little endian)
+//	8       8     cardinality (little endian)
+//	16      8×n   BUNs: head uint32, tail uint32 (little endian)
+
+var batMagic = [4]byte{'B', 'A', 'T', 'P'}
+
+// FormatVersion is the current on-disk format version.
+const FormatVersion = 1
+
+// maxReadCardinality guards against corrupt headers allocating
+// unbounded memory: 1<<31 BUNs = 16 GB, far past any experiment here.
+const maxReadCardinality = 1 << 31
+
+// WritePairs streams the BAT to w in the on-disk format.
+func WritePairs(w io.Writer, p *Pairs) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(batMagic[:]); err != nil {
+		return fmt.Errorf("bat: write header: %w", err)
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], FormatVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(p.Len()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("bat: write header: %w", err)
+	}
+	var buf [PairSize]byte
+	for _, bun := range p.BUNs {
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(bun.Head))
+		binary.LittleEndian.PutUint32(buf[4:8], bun.Tail)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("bat: write BUNs: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("bat: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadPairs loads a BAT from r, validating the header.
+func ReadPairs(r io.Reader) (*Pairs, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var head [16]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("bat: read header: %w", err)
+	}
+	if [4]byte(head[0:4]) != batMagic {
+		return nil, fmt.Errorf("bat: bad magic %q", head[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != FormatVersion {
+		return nil, fmt.Errorf("bat: unsupported format version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(head[8:16])
+	if n > maxReadCardinality {
+		return nil, fmt.Errorf("bat: implausible cardinality %d", n)
+	}
+	p := NewPairs(int(n))
+	var buf [PairSize]byte
+	for i := range p.BUNs {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("bat: read BUN %d of %d: %w", i, n, err)
+		}
+		p.BUNs[i] = Pair{
+			Head: Oid(binary.LittleEndian.Uint32(buf[0:4])),
+			Tail: binary.LittleEndian.Uint32(buf[4:8]),
+		}
+	}
+	return p, nil
+}
+
+// SavePairs writes the BAT to a file (atomically via a temp file in
+// the same directory).
+func SavePairs(path string, p *Pairs) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".bat-*")
+	if err != nil {
+		return fmt.Errorf("bat: save: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := WritePairs(tmp, p); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("bat: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("bat: save: %w", err)
+	}
+	return nil
+}
+
+// LoadPairs reads a BAT from a file.
+func LoadPairs(path string) (*Pairs, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bat: load: %w", err)
+	}
+	defer f.Close()
+	return ReadPairs(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

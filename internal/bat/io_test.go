@@ -1,0 +1,143 @@
+package bat
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairsRoundtripBuffer(t *testing.T) {
+	p := NewPairs(1000)
+	for i := range p.BUNs {
+		p.BUNs[i] = Pair{Head: Oid(i), Tail: uint32(i * 7)}
+	}
+	var buf bytes.Buffer
+	if err := WritePairs(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	// Header 16 bytes + 8 per BUN.
+	if buf.Len() != 16+1000*PairSize {
+		t.Errorf("encoded size %d", buf.Len())
+	}
+	got, err := ReadPairs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != p.Len() {
+		t.Fatalf("len %d", got.Len())
+	}
+	for i := range p.BUNs {
+		if got.BUNs[i] != p.BUNs[i] {
+			t.Fatalf("BUN %d differs", i)
+		}
+	}
+}
+
+func TestPairsRoundtripFile(t *testing.T) {
+	p := NewPairs(100)
+	for i := range p.BUNs {
+		p.BUNs[i] = Pair{Head: Oid(i), Tail: uint32(1 << (i % 30))}
+	}
+	path := filepath.Join(t.TempDir(), "test.bat")
+	if err := SavePairs(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPairs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.BUNs {
+		if got.BUNs[i] != p.BUNs[i] {
+			t.Fatalf("BUN %d differs after file roundtrip", i)
+		}
+	}
+}
+
+func TestReadPairsRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": {'B', 'A', 'T'},
+		"bad magic":    append([]byte("NOPE"), make([]byte, 12)...),
+		"bad version":  append([]byte("BATP"), 9, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0),
+		"truncated": func() []byte {
+			var buf bytes.Buffer
+			p := NewPairs(10)
+			if err := WritePairs(&buf, p); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()[:buf.Len()-4]
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := ReadPairs(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadPairsImplausibleCardinality(t *testing.T) {
+	hdr := append([]byte("BATP"), 1, 0, 0, 0)
+	hdr = append(hdr, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := ReadPairs(bytes.NewReader(hdr)); err == nil {
+		t.Error("huge cardinality accepted")
+	}
+}
+
+func TestWritePairsNilStorage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePairs(&buf, &Pairs{}); err == nil {
+		t.Error("nil storage accepted")
+	}
+}
+
+func TestSavePairsBadPath(t *testing.T) {
+	if err := SavePairs("/nonexistent-dir-xyz/a.bat", NewPairs(1)); err == nil {
+		t.Error("bad path accepted")
+	}
+}
+
+func TestEmptyBATRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePairs(&buf, NewPairs(0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPairs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("len %d", got.Len())
+	}
+}
+
+// Property: serialization round-trips arbitrary BATs.
+func TestIORoundtripProperty(t *testing.T) {
+	f := func(heads, tails []uint32) bool {
+		n := len(heads)
+		if len(tails) < n {
+			n = len(tails)
+		}
+		p := NewPairs(n)
+		for i := 0; i < n; i++ {
+			p.BUNs[i] = Pair{Head: Oid(heads[i]), Tail: tails[i]}
+		}
+		var buf bytes.Buffer
+		if err := WritePairs(&buf, p); err != nil {
+			return false
+		}
+		got, err := ReadPairs(&buf)
+		if err != nil || got.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got.BUNs[i] != p.BUNs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"monetlite/internal/costmodel"
+	"monetlite/internal/memsim"
+)
+
+// PlanAuto picks the cheapest concrete strategy for joining two
+// relations of cardinality c on machine m, by evaluating the paper's
+// cost models over the §3.4.4 strategy set — the role a Monet query
+// optimizer plays with these formulas.
+func PlanAuto(c int, m memsim.Machine) Plan {
+	model := costmodel.New(m)
+	best := NewPlan(SimpleHash, c, m)
+	bestCost := model.SimpleHashTotal(c).Total(m)
+	for _, s := range []Strategy{PhashL2, PhashTLB, PhashL1, Phash256, PhashMin, Radix8, RadixMin} {
+		p := NewPlan(s, c, m)
+		var cost float64
+		if s.UsesRadixJoin() {
+			cost = model.RadixTotal(p.Bits, c).Total(m)
+		} else {
+			cost = model.PhashTotal(p.Bits, c).Total(m)
+		}
+		if cost < bestCost {
+			bestCost = cost
+			best = p
+		}
+	}
+	return best
+}
+
+// PredictPlan returns the model-predicted cost breakdown of executing
+// plan p at cardinality c on machine m (cluster both operands + join).
+func PredictPlan(p Plan, c int, m memsim.Machine) costmodel.Breakdown {
+	model := costmodel.New(m)
+	switch p.Strategy {
+	case SortMerge:
+		return model.SortMergeTotal(c)
+	case SimpleHash:
+		return model.SimpleHashTotal(c)
+	default:
+		if p.Strategy.UsesRadixJoin() {
+			return model.RadixTotal(p.Bits, c)
+		}
+		return model.PhashTotal(p.Bits, c)
+	}
+}

@@ -1,0 +1,243 @@
+// Package core implements the paper's primary contribution (§3.3): the
+// multi-pass radix-cluster algorithm and the two cluster-based equi-join
+// algorithms built on it — partitioned hash-join and radix-join — plus
+// the baseline joins they are compared against (non-partitioned hash
+// join, sort-merge join) and the §3.4.4 strategy planner that picks the
+// number of radix bits B and passes P for a given cardinality and
+// machine.
+//
+// Every operator runs in two modes: natively (sim == nil), for
+// wall-clock benchmarks, and instrumented, where each BUN access is
+// mirrored into a memsim.Sim at stable simulated addresses to produce
+// the exact L1/L2/TLB miss counts the paper reads from the R10000
+// hardware counters.
+package core
+
+import (
+	"fmt"
+
+	"monetlite/internal/bat"
+	"monetlite/internal/hashtab"
+	"monetlite/internal/memsim"
+)
+
+// MaxBits caps the number of radix bits: 2^26 clusters of offsets is
+// the largest boundary structure we allow (the paper sweeps B ≤ 25).
+const MaxBits = 26
+
+// Clustered is a radix-clustered BAT: tuples reordered so that all
+// tuples whose hash value agrees on the lower Bits bits are contiguous.
+// Offsets[k] .. Offsets[k+1] delimit cluster k. The paper notes the
+// boundaries need not be stored (the radix bits themselves mark them);
+// we keep the offsets the clustering pass computes anyway, as Monet's
+// implementation does for the merge step.
+type Clustered struct {
+	Pairs   *bat.Pairs
+	Bits    int
+	Offsets []int // length 2^Bits + 1
+	hash    hashtab.Hash
+}
+
+// Clusters returns the number of clusters H = 2^Bits.
+func (c *Clustered) Clusters() int { return 1 << c.Bits }
+
+// Cluster returns cluster k as a zero-copy view.
+func (c *Clustered) Cluster(k int) *bat.Pairs {
+	return c.Pairs.Slice(c.Offsets[k], c.Offsets[k+1])
+}
+
+// ClusterLen returns the cardinality of cluster k.
+func (c *Clustered) ClusterLen(k int) int { return c.Offsets[k+1] - c.Offsets[k] }
+
+// Validate checks the clustering invariant: every tuple lies in the
+// cluster its radix value selects, and offsets are monotone and cover
+// the BAT exactly.
+func (c *Clustered) Validate() error {
+	if len(c.Offsets) != c.Clusters()+1 {
+		return fmt.Errorf("core: %d offsets for %d clusters", len(c.Offsets), c.Clusters())
+	}
+	if c.Offsets[0] != 0 || c.Offsets[len(c.Offsets)-1] != c.Pairs.Len() {
+		return fmt.Errorf("core: offsets do not cover the BAT")
+	}
+	mask := uint32(1)<<c.Bits - 1
+	h := c.hash
+	if h == nil {
+		h = hashtab.Identity
+	}
+	for k := 0; k < c.Clusters(); k++ {
+		if c.Offsets[k] > c.Offsets[k+1] {
+			return fmt.Errorf("core: cluster %d has negative length", k)
+		}
+		for i := c.Offsets[k]; i < c.Offsets[k+1]; i++ {
+			if got := h(c.Pairs.BUNs[i].Tail) & mask; got != uint32(k) {
+				return fmt.Errorf("core: tuple %d has radix %d, stored in cluster %d", i, got, k)
+			}
+		}
+	}
+	return nil
+}
+
+// EvenBitSplit distributes bits over passes as evenly as possible,
+// earlier passes taking the larger share — §3.4.2 reports performance
+// depends strongly on an even distribution.
+func EvenBitSplit(bits, passes int) []int {
+	split := make([]int, passes)
+	base, rem := bits/passes, bits%passes
+	for i := range split {
+		split[i] = base
+		if i < rem {
+			split[i]++
+		}
+	}
+	return split
+}
+
+// OptimalPasses returns the pass count the §3.4.2 experiments identify
+// as best for clustering on B bits: at most log2(TLB entries) bits per
+// pass (6 on the Origin2000: one pass up to 6 bits, two up to 12,
+// three up to 18, ...).
+func OptimalPasses(bits int, m memsim.Machine) int {
+	if bits <= 0 {
+		return 1
+	}
+	maxPerPass := 0
+	for e := m.TLB.Entries; e > 1; e >>= 1 {
+		maxPerPass++
+	}
+	if maxPerPass < 1 {
+		maxPerPass = 1
+	}
+	return (bits + maxPerPass - 1) / maxPerPass
+}
+
+// RadixCluster clusters in on the lower bits of the hash of Tail, in
+// the given number of passes (Figure 6), distributing the bits evenly
+// across passes (§3.4.2: performance depends strongly on an even
+// distribution). The input BAT is not modified. With bits == 0 the
+// input is returned as a single cluster without copying. A nil hash
+// means identity (the experimental setup: unique uniform integer
+// keys).
+//
+// In instrumented mode each pass charges wc CPU per tuple and mirrors
+// one histogram read plus one read and one write per tuple into sim;
+// it returns memsim.ErrBudget (wrapped) if the sim's access budget is
+// exhausted.
+func RadixCluster(sim *memsim.Sim, in *bat.Pairs, bits, passes int, h hashtab.Hash) (*Clustered, error) {
+	if bits < 0 || bits > MaxBits {
+		return nil, fmt.Errorf("core: radix bits %d outside [0, %d]", bits, MaxBits)
+	}
+	if bits == 0 {
+		return &Clustered{Pairs: in, Bits: 0, Offsets: []int{0, in.Len()}, hash: h}, nil
+	}
+	if passes < 1 || passes > bits {
+		return nil, fmt.Errorf("core: %d passes invalid for %d bits", passes, bits)
+	}
+	return RadixClusterSplit(sim, in, EvenBitSplit(bits, passes), h)
+}
+
+// RadixClusterSplit clusters with an explicit per-pass bit schedule
+// (pass p subdivides on split[p] bits, leftmost first). It exists for
+// the §3.4.2 bit-distribution ablation; RadixCluster's even split is
+// the recommended schedule.
+func RadixClusterSplit(sim *memsim.Sim, in *bat.Pairs, split []int, h hashtab.Hash) (*Clustered, error) {
+	bits := 0
+	for _, bp := range split {
+		if bp < 1 {
+			return nil, fmt.Errorf("core: pass with %d bits", bp)
+		}
+		bits += bp
+	}
+	if bits < 1 || bits > MaxBits {
+		return nil, fmt.Errorf("core: total radix bits %d outside [1, %d]", bits, MaxBits)
+	}
+	if h == nil {
+		h = hashtab.Identity
+	}
+	n := in.Len()
+	wc := 0.0
+	if sim != nil {
+		wc = sim.Machine().Cost.Wc
+		in.Bind(sim)
+	}
+
+	// Ping-pong between two scratch BATs; the input is never written.
+	bufA := bat.NewPairs(n)
+	var bufB *bat.Pairs
+	if len(split) > 1 {
+		bufB = bat.NewPairs(n)
+	}
+	if sim != nil {
+		bufA.Bind(sim)
+		if bufB != nil {
+			bufB.Bind(sim)
+		}
+	}
+
+	src, dst := in, bufA
+	regions := []int{0, n}
+	bitsDone := 0
+	for p, bp := range split {
+		shift := uint(bits - bitsDone - bp) // cluster on bits [shift, shift+bp)
+		hp := 1 << bp
+		mask := uint32(hp - 1)
+		newRegions := make([]int, 0, (len(regions)-1)*hp+1)
+		cursors := make([]int, hp)
+
+		for r := 0; r+1 < len(regions); r++ {
+			lo, hi := regions[r], regions[r+1]
+			for i := range cursors {
+				cursors[i] = 0
+			}
+			// Histogram: one sequential read per tuple.
+			for i := lo; i < hi; i++ {
+				if sim != nil {
+					sim.Read(src.Addr(i), bat.PairSize)
+				}
+				d := (h(src.BUNs[i].Tail) >> shift) & mask
+				cursors[d]++
+			}
+			// Prefix sum to per-cluster write cursors; record boundaries.
+			pos := lo
+			for d := 0; d < hp; d++ {
+				newRegions = append(newRegions, pos)
+				c := cursors[d]
+				cursors[d] = pos
+				pos += c
+			}
+			// Scatter: the randomly-written H_p regions of Figure 5/6.
+			for i := lo; i < hi; i++ {
+				bun := src.BUNs[i]
+				d := (h(bun.Tail) >> shift) & mask
+				if sim != nil {
+					sim.Read(src.Addr(i), bat.PairSize)
+					sim.Write(dst.Addr(cursors[d]), bat.PairSize)
+				}
+				dst.BUNs[cursors[d]] = bun
+				cursors[d]++
+			}
+		}
+		newRegions = append(newRegions, n)
+		regions = newRegions
+		if sim != nil {
+			sim.AddCPU(n, wc)
+			if sim.Exhausted() {
+				return nil, fmt.Errorf("core: radix-cluster pass %d: %w", p+1, memsim.ErrBudget)
+			}
+		}
+		bitsDone += bp
+		switch {
+		case p == len(split)-1:
+			src = dst // final result
+		case dst == bufA:
+			src, dst = bufA, bufB
+		default:
+			src, dst = bufB, bufA
+		}
+	}
+	return &Clustered{Pairs: src, Bits: bits, Offsets: regions, hash: h}, nil
+}
+
+// radixOf returns the cluster index of a key under hash h and B bits.
+func radixOf(h hashtab.Hash, key uint32, bits int) uint32 {
+	return h(key) & (uint32(1)<<bits - 1)
+}

@@ -1,0 +1,347 @@
+// Package costmodel implements the paper's analytical main-memory cost
+// models: the stride-scan model of §2 and the radix-cluster (Tc),
+// radix-join (Tr) and partitioned hash-join (Th) models of §3.4. The
+// models quantify query cost in CPU cycles and per-event miss counts
+// (L1, L2, TLB) multiplied by calibrated latencies — the methodology
+// the paper sets against "magical cost factor" profiling models
+// [LN96, WK90].
+//
+// Two piecewise conditions are printed with garbled guards in the
+// proceedings (both branches guarded by ≤/<); this implementation reads
+// the second branch of each as the complement (>), and reads the
+// hash-join TLB overflow penalty as C·10·(1−‖TLB‖/‖Cl‖) by symmetry
+// with the cache term; see DESIGN.md §4.
+package costmodel
+
+import (
+	"math"
+
+	"monetlite/internal/memsim"
+)
+
+// TupleBytes is the BUN width of the experimental BATs (§3.4.1).
+const TupleBytes = 8
+
+// PhashTupleBytes is the per-tuple footprint of a cluster plus its
+// bucket-chained hash table, the 12 bytes/tuple of §3.4.4.
+const PhashTupleBytes = 12
+
+// Model evaluates the paper's cost formulas for one machine profile.
+type Model struct {
+	M memsim.Machine
+}
+
+// New returns a model for machine m.
+func New(m memsim.Machine) Model { return Model{M: m} }
+
+// Breakdown decomposes a predicted cost into its per-event parts.
+// Misses are expected counts (fractional); Total is nanoseconds.
+type Breakdown struct {
+	CPUNanos  float64
+	L1Misses  float64
+	L2Misses  float64
+	TLBMisses float64
+}
+
+// Total returns the predicted elapsed nanoseconds: CPU work plus each
+// miss count times its latency.
+func (b Breakdown) Total(m memsim.Machine) float64 {
+	return b.CPUNanos +
+		b.L1Misses*m.Cost.LatL2 +
+		b.L2Misses*m.Cost.LatMem +
+		b.TLBMisses*m.Cost.LatTLB
+}
+
+// Millis is Total in milliseconds.
+func (b Breakdown) Millis(m memsim.Machine) float64 { return b.Total(m) / 1e6 }
+
+// add sums two breakdowns component-wise.
+func (b Breakdown) add(o Breakdown) Breakdown {
+	return Breakdown{
+		CPUNanos:  b.CPUNanos + o.CPUNanos,
+		L1Misses:  b.L1Misses + o.L1Misses,
+		L2Misses:  b.L2Misses + o.L2Misses,
+		TLBMisses: b.TLBMisses + o.TLBMisses,
+	}
+}
+
+// scale multiplies every component by k.
+func (b Breakdown) scale(k float64) Breakdown {
+	return Breakdown{
+		CPUNanos:  k * b.CPUNanos,
+		L1Misses:  k * b.L1Misses,
+		L2Misses:  k * b.L2Misses,
+		TLBMisses: k * b.TLBMisses,
+	}
+}
+
+// ---------------------------------------------------------------------
+// §2: the stride-scan model.
+//
+//	T(s) = TCPU + ML1(s)·lL2 + ML2(s)·lMem
+//	ML1(s) = min(s/LS_L1, 1), ML2(s) = min(s/LS_L2, 1)
+
+// seqLatMem returns the effective DRAM latency of sequential misses
+// (bandwidth-bound; falls back to LatMem when uncalibrated). The scan
+// experiment is purely sequential, so its model uses this latency —
+// the same effective value the paper's Figure-3 measurements embed.
+func (m Model) seqLatMem() float64 {
+	if m.M.Cost.LatMemSeq > 0 {
+		return m.M.Cost.LatMemSeq
+	}
+	return m.M.Cost.LatMem
+}
+
+// ScanIterNanos returns the §2 model's expected cost of one iteration
+// of the stride-scan experiment: pure CPU work plus the expected L1
+// and L2 miss penalties at stride s (sequential-miss latency).
+func (m Model) ScanIterNanos(s int) float64 {
+	b := m.ScanIter(s)
+	return b.CPUNanos + b.L1Misses*m.M.Cost.LatL2 + b.L2Misses*m.seqLatMem()
+}
+
+// ScanNanos returns the modelled elapsed nanoseconds of the full
+// experiment: iters iterations at stride s.
+func (m Model) ScanNanos(iters, s int) float64 {
+	return float64(iters) * m.ScanIterNanos(s)
+}
+
+// ScanIter returns the per-iteration breakdown at stride s.
+func (m Model) ScanIter(s int) Breakdown {
+	ml1 := math.Min(float64(s)/float64(m.M.L1.LineSize), 1)
+	ml2 := math.Min(float64(s)/float64(m.M.L2.LineSize), 1)
+	return Breakdown{CPUNanos: m.M.Cost.WScanByte, L1Misses: ml1, L2Misses: ml2}
+}
+
+// Scan returns the predicted breakdown of the full Figure-3 experiment:
+// iters iterations at stride s.
+func (m Model) Scan(iters, s int) Breakdown {
+	return m.ScanIter(s).scale(float64(iters))
+}
+
+// ---------------------------------------------------------------------
+// Geometry helpers, using the paper's notation: |Re|Li = lines per
+// relation, |Re|Pg = pages per relation, |Li|Li = lines per cache.
+
+func (m Model) relLines(c int, cacheIdx int) float64 {
+	line := m.M.L1.LineSize
+	if cacheIdx == 2 {
+		line = m.M.L2.LineSize
+	}
+	return math.Ceil(float64(c) * TupleBytes / float64(line))
+}
+
+func (m Model) relPages(c int) float64 {
+	return math.Ceil(float64(c) * TupleBytes / float64(m.M.TLB.PageSize))
+}
+
+func (m Model) cacheLines(cacheIdx int) float64 {
+	if cacheIdx == 2 {
+		return float64(m.M.L2.Lines())
+	}
+	return float64(m.M.L1.Lines())
+}
+
+func (m Model) cacheBytes(cacheIdx int) float64 {
+	if cacheIdx == 2 {
+		return float64(m.M.L2.Size)
+	}
+	return float64(m.M.L1.Size)
+}
+
+// ---------------------------------------------------------------------
+// §3.4.2: radix-cluster model Tc(P, B, C).
+
+// clusterPassMisses is MLi,c(Bp, C): the Li misses of one clustering
+// pass creating Hp clusters. First term: fetching input and storing
+// output (2·|Re|Li). Second: extra misses as the concurrently-filled
+// cluster buffers approach (Hp/|Li| per tuple) or exceed (log-degraded)
+// the cache's line count.
+func (m Model) clusterPassMisses(hp float64, c int, cacheIdx int) float64 {
+	lines := m.cacheLines(cacheIdx)
+	base := 2 * m.relLines(c, cacheIdx)
+	if hp <= lines {
+		return base + float64(c)*hp/lines
+	}
+	return base + float64(c)*(1+math.Log2(hp/lines))
+}
+
+// clusterPassTLBMisses is MTLB,c(Bp, C).
+func (m Model) clusterPassTLBMisses(hp float64, c int) float64 {
+	tlb := float64(m.M.TLB.Entries)
+	pages := m.relPages(c)
+	base := 2 * pages
+	if hp <= tlb {
+		return base + pages*hp/tlb
+	}
+	return base + float64(c)*(1-tlb/hp)
+}
+
+// ClusterPass returns the breakdown of one pass on bp bits.
+func (m Model) ClusterPass(bp float64, c int) Breakdown {
+	hp := math.Pow(2, bp)
+	return Breakdown{
+		CPUNanos:  float64(c) * m.M.Cost.Wc,
+		L1Misses:  m.clusterPassMisses(hp, c, 1),
+		L2Misses:  m.clusterPassMisses(hp, c, 2),
+		TLBMisses: m.clusterPassTLBMisses(hp, c),
+	}
+}
+
+// Tc returns the breakdown of radix-clustering C tuples on B bits in P
+// passes of B/P bits each (§3.4.2):
+//
+//	Tc(P,B,C) = P·(C·wc + ML1,c·lL2 + ML2,c·lMem + MTLB,c·lTLB)
+func (m Model) Tc(p, b, c int) Breakdown {
+	if b == 0 || p == 0 {
+		return Breakdown{}
+	}
+	return m.ClusterPass(float64(b)/float64(p), c).scale(float64(p))
+}
+
+// TcNanos is Tc's total in nanoseconds.
+func (m Model) TcNanos(p, b, c int) float64 { return m.Tc(p, b, c).Total(m.M) }
+
+// ---------------------------------------------------------------------
+// §3.4.3: radix-join model Tr(B, C).
+
+// radixJoinMisses is MLi,r(B, C): 3·|Re|Li for fetching both operands
+// and storing the result, plus the inner-loop misses — a |Cl|Li/|Li|Li
+// fraction per tuple while clusters fit, every inner line once per
+// outer tuple when they do not.
+func (m Model) radixJoinMisses(b, c int, cacheIdx int) float64 {
+	line := m.M.L1.LineSize
+	if cacheIdx == 2 {
+		line = m.M.L2.LineSize
+	}
+	h := math.Pow(2, float64(b))
+	clLines := math.Ceil(float64(c) / h * TupleBytes / float64(line))
+	lines := m.cacheLines(cacheIdx)
+	base := 3 * m.relLines(c, cacheIdx)
+	if clLines <= lines {
+		return base + float64(c)*clLines/lines
+	}
+	return base + float64(c)*clLines
+}
+
+// radixJoinTLBMisses is MTLB,r(B, C).
+func (m Model) radixJoinTLBMisses(b, c int) float64 {
+	h := math.Pow(2, float64(b))
+	clBytes := float64(c) / h * TupleBytes
+	return 3*m.relPages(c) + float64(c)*clBytes/float64(m.M.TLB.Span())
+}
+
+// Tr returns the breakdown of the radix-join phase (§3.4.3) on inputs
+// clustered on b bits:
+//
+//	Tr(B,C) = C·(C/H)·wr + C·w'r + ML1,r·lL2 + ML2,r·lMem + MTLB,r·lTLB
+func (m Model) Tr(b, c int) Breakdown {
+	h := math.Pow(2, float64(b))
+	return Breakdown{
+		CPUNanos:  float64(c)*(float64(c)/h)*m.M.Cost.Wr + float64(c)*m.M.Cost.WrOut,
+		L1Misses:  m.radixJoinMisses(b, c, 1),
+		L2Misses:  m.radixJoinMisses(b, c, 2),
+		TLBMisses: m.radixJoinTLBMisses(b, c),
+	}
+}
+
+// TrNanos is Tr's total in nanoseconds.
+func (m Model) TrNanos(b, c int) float64 { return m.Tr(b, c).Total(m.M) }
+
+// ---------------------------------------------------------------------
+// §3.4.3: partitioned hash-join model Th(B, C).
+
+// phashMisses is MLi,h(B, C): 3·|Re|Li plus a ‖Cl‖/‖Li‖ fraction per
+// tuple while the inner cluster and its hash table fit the cache, and
+// up to 10 misses per tuple (8 through the bucket chain plus 2 for the
+// tuple) once they trash it.
+func (m Model) phashMisses(b, c int, cacheIdx int) float64 {
+	h := math.Pow(2, float64(b))
+	clBytes := float64(c) / h * PhashTupleBytes
+	cache := m.cacheBytes(cacheIdx)
+	base := 3 * m.relLines(c, cacheIdx)
+	if clBytes <= cache {
+		return base + float64(c)*clBytes/cache
+	}
+	return base + float64(c)*10*(1-cache/clBytes)
+}
+
+// phashTLBMisses is MTLB,h(B, C).
+func (m Model) phashTLBMisses(b, c int) float64 {
+	h := math.Pow(2, float64(b))
+	clBytes := float64(c) / h * PhashTupleBytes
+	span := float64(m.M.TLB.Span())
+	base := 3 * m.relPages(c)
+	if clBytes <= span {
+		return base + float64(c)*clBytes/span
+	}
+	return base + float64(c)*10*(1-span/clBytes)
+}
+
+// Th returns the breakdown of the partitioned hash-join phase (§3.4.3)
+// on inputs clustered on b bits:
+//
+//	Th(B,C) = C·wh + H·w'h + ML1,h·lL2 + ML2,h·lMem + MTLB,h·lTLB
+func (m Model) Th(b, c int) Breakdown {
+	h := math.Pow(2, float64(b))
+	return Breakdown{
+		CPUNanos:  float64(c)*m.M.Cost.Wh + h*m.M.Cost.WhClus,
+		L1Misses:  m.phashMisses(b, c, 1),
+		L2Misses:  m.phashMisses(b, c, 2),
+		TLBMisses: m.phashTLBMisses(b, c),
+	}
+}
+
+// ThNanos is Th's total in nanoseconds.
+func (m Model) ThNanos(b, c int) float64 { return m.Th(b, c).Total(m.M) }
+
+// ---------------------------------------------------------------------
+// §3.4.4: combined cluster + join cost.
+
+// optimalPasses mirrors core.OptimalPasses without importing it
+// (costmodel sits below core): at most log2(TLB entries) bits/pass.
+func (m Model) optimalPasses(bits int) int {
+	if bits <= 0 {
+		return 1
+	}
+	per := 0
+	for e := m.M.TLB.Entries; e > 1; e >>= 1 {
+		per++
+	}
+	if per < 1 {
+		per = 1
+	}
+	return (bits + per - 1) / per
+}
+
+// PhashTotal predicts the full partitioned hash-join: clustering both
+// operands on b bits (optimal passes) plus the hash-join phase.
+func (m Model) PhashTotal(b, c int) Breakdown {
+	p := m.optimalPasses(b)
+	return m.Tc(p, b, c).scale(2).add(m.Th(b, c))
+}
+
+// RadixTotal predicts the full radix-join: clustering both operands on
+// b bits (optimal passes) plus the nested-loop join phase.
+func (m Model) RadixTotal(b, c int) Breakdown {
+	p := m.optimalPasses(b)
+	return m.Tc(p, b, c).scale(2).add(m.Tr(b, c))
+}
+
+// SortMergeTotal is a coarse sort-merge-join prediction assembled from
+// the paper's building blocks (the paper gives no closed formula; it
+// measures sort-merge only as a baseline): radix-sorting both operands
+// is 4 passes of 8-bit clustering work each, plus a merge scan.
+func (m Model) SortMergeTotal(c int) Breakdown {
+	sortOne := m.ClusterPass(8, c).scale(4)
+	merge := Breakdown{
+		CPUNanos: float64(c) * (m.M.Cost.Wr + m.M.Cost.WrOut),
+		L1Misses: 3 * m.relLines(c, 1),
+		L2Misses: 3 * m.relLines(c, 2),
+	}
+	return sortOne.scale(2).add(merge)
+}
+
+// SimpleHashTotal predicts the non-partitioned hash join: Th with one
+// cluster spanning the whole relation.
+func (m Model) SimpleHashTotal(c int) Breakdown { return m.Th(0, c) }

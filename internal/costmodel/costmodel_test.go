@@ -1,0 +1,192 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"monetlite/internal/memsim"
+)
+
+func origin() Model { return New(memsim.Origin2000()) }
+
+func TestScanModelShape(t *testing.T) {
+	m := origin()
+	// Monotone in stride until the L2 line size, then flat.
+	prev := -1.0
+	for s := 1; s <= 128; s++ {
+		ns := m.ScanIterNanos(s)
+		if ns < prev {
+			t.Fatalf("scan model not monotone at stride %d", s)
+		}
+		prev = ns
+	}
+	if m.ScanIterNanos(128) != m.ScanIterNanos(256) {
+		t.Error("scan model not flat past L2 line size")
+	}
+	// §3.1: stride 1 ≈ 4 cycles (16ns), stride 8 ≈ 10 cycles (40ns).
+	if got := m.ScanIterNanos(1); got < 16 || got > 26 {
+		t.Errorf("stride-1 iteration = %.1fns, want ≈16–26", got)
+	}
+	if got := m.ScanIterNanos(8); got < 30 || got > 50 {
+		t.Errorf("stride-8 iteration = %.1fns, want ≈40 (10 cycles)", got)
+	}
+}
+
+func TestScanFullExperimentScale(t *testing.T) {
+	m := origin()
+	b := m.Scan(200000, 256)
+	// Full-miss plateau: every iteration misses L1 and L2.
+	if b.L1Misses != 200000 || b.L2Misses != 200000 {
+		t.Errorf("plateau misses = %v", b)
+	}
+	if ms := b.Millis(m.M); ms < 50 || ms > 150 {
+		t.Errorf("plateau elapsed = %.1fms, want within Figure-3 magnitude", ms)
+	}
+}
+
+func TestTcKneesAtTLBAndCacheBoundaries(t *testing.T) {
+	m := origin()
+	const c = 8 << 20
+	// The per-pass TLB term jumps once Hp exceeds 64 entries: the
+	// marginal cost of bit 7 in one pass must far exceed that of bit 5.
+	d6 := m.TcNanos(1, 7, c) - m.TcNanos(1, 6, c)
+	d5 := m.TcNanos(1, 6, c) - m.TcNanos(1, 5, c)
+	if d6 < 4*d5 {
+		t.Errorf("no TLB knee: Δ(6→7)=%.2e Δ(5→6)=%.2e", d6, d5)
+	}
+	// Beyond the TLB knee, two passes beat one (Figure 9).
+	if m.TcNanos(2, 8, c) >= m.TcNanos(1, 8, c) {
+		t.Error("two passes not better at B=8")
+	}
+	// Up to 6 bits, one pass is best (§3.4.2).
+	for b := 1; b <= 6; b++ {
+		if m.TcNanos(1, b, c) > m.TcNanos(2, b, c) {
+			t.Errorf("B=%d: one pass not optimal", b)
+		}
+	}
+}
+
+func TestTcOptimalPassSchedule(t *testing.T) {
+	// Figure 9 / §3.4.2: P passes become optimal beyond 6P bits.
+	m := origin()
+	const c = 8 << 20
+	bestPasses := func(b int) int {
+		best, bestNs := 1, math.Inf(1)
+		for p := 1; p <= 5 && p <= b; p++ {
+			if ns := m.TcNanos(p, b, c); ns < bestNs {
+				best, bestNs = p, ns
+			}
+		}
+		return best
+	}
+	for b, want := range map[int]int{4: 1, 6: 1, 8: 2, 12: 2, 14: 3, 18: 3, 20: 4} {
+		if got := bestPasses(b); got != want {
+			t.Errorf("optimal passes at B=%d = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestTcZeroBits(t *testing.T) {
+	m := origin()
+	if m.TcNanos(1, 0, 1000) != 0 {
+		t.Error("Tc(B=0) must be free (no clustering)")
+	}
+}
+
+func TestTrImprovesWithBits(t *testing.T) {
+	m := origin()
+	const c = 1 << 20
+	// §3.4.3: radix-join performance improves with the number of radix
+	// bits (dominated by the quadratic inner loop shrinking).
+	prev := math.Inf(1)
+	for b := 4; b <= 18; b += 2 {
+		ns := m.TrNanos(b, c)
+		if ns >= prev {
+			t.Errorf("Tr not improving at B=%d", b)
+		}
+		prev = ns
+	}
+}
+
+func TestThPlateausAndUpturn(t *testing.T) {
+	m := origin()
+	const c = 8 << 20
+	// Performance improves strongly until the cluster+table fits the
+	// TLB span and L2 (B≈7), then flattens (§3.4.3).
+	steep := m.ThNanos(2, c) / m.ThNanos(8, c)
+	if steep < 2 {
+		t.Errorf("no steep improvement before TLB fit: ratio %.2f", steep)
+	}
+	flat := m.ThNanos(12, c) / m.ThNanos(14, c)
+	if flat < 0.5 || flat > 2.5 {
+		t.Errorf("no plateau after L1 fit: ratio %.2f", flat)
+	}
+	// H·w'h: with very many tiny clusters the hash-table overhead turns
+	// the curve back up.
+	if m.ThNanos(22, c) <= m.ThNanos(15, c) {
+		t.Error("no small-cluster upturn from hash-table allocation overhead")
+	}
+}
+
+func TestCacheConsciousBeatBaselinesAtScale(t *testing.T) {
+	m := origin()
+	const c = 8 << 20
+	simple := m.SimpleHashTotal(c).Total(m.M)
+	sortMerge := m.SortMergeTotal(c).Total(m.M)
+	phashL1 := m.PhashTotal(12, c).Total(m.M) // B=12 = phash L1 at 8M
+	radix8 := m.RadixTotal(20, c).Total(m.M)
+	if phashL1 >= simple {
+		t.Errorf("phash L1 %.0fms not below simple hash %.0fms", phashL1/1e6, simple/1e6)
+	}
+	if phashL1 >= sortMerge {
+		t.Errorf("phash L1 %.0fms not below sort-merge %.0fms", phashL1/1e6, sortMerge/1e6)
+	}
+	if radix8 >= simple {
+		t.Errorf("radix 8 %.0fms not below simple hash %.0fms", radix8/1e6, simple/1e6)
+	}
+	// Order-of-magnitude claim (§4).
+	if simple/phashL1 < 3 {
+		t.Errorf("improvement only %.1f×, expected substantial", simple/phashL1)
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	m := memsim.Origin2000()
+	b := Breakdown{CPUNanos: 100, L1Misses: 10, L2Misses: 5, TLBMisses: 2}
+	want := 100 + 10*m.Cost.LatL2 + 5*m.Cost.LatMem + 2*m.Cost.LatTLB
+	if got := b.Total(m); got != want {
+		t.Errorf("Total = %v, want %v", got, want)
+	}
+	if b.Millis(m) != want/1e6 {
+		t.Error("Millis inconsistent")
+	}
+	s := b.add(b).scale(0.5)
+	if s != b {
+		t.Errorf("add/scale roundtrip: %+v", s)
+	}
+}
+
+// Property: all model predictions are non-negative and finite for any
+// valid parameters.
+func TestModelsFiniteProperty(t *testing.T) {
+	m := origin()
+	f := func(bRaw, pRaw uint8, cRaw uint32) bool {
+		b := int(bRaw) % 27
+		p := int(pRaw)%4 + 1
+		c := int(cRaw)%(1<<22) + 1
+		for _, v := range []float64{
+			m.TcNanos(p, b, c), m.TrNanos(b, c), m.ThNanos(b, c),
+			m.PhashTotal(b, c).Total(m.M), m.RadixTotal(b, c).Total(m.M),
+			m.SortMergeTotal(c).Total(m.M), m.SimpleHashTotal(c).Total(m.M),
+		} {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

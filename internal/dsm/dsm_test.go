@@ -1,0 +1,321 @@
+package dsm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"monetlite/internal/bat"
+	"monetlite/internal/memsim"
+	"monetlite/internal/workload"
+)
+
+func itemTable(t *testing.T, n int) *Table {
+	t.Helper()
+	tab, err := ItemTable(n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestDecomposeShape(t *testing.T) {
+	tab := itemTable(t, 1000)
+	if tab.N != 1000 {
+		t.Fatalf("N = %d", tab.N)
+	}
+	if len(tab.Columns()) != len(ItemSchema().Cols) {
+		t.Fatalf("%d columns", len(tab.Columns()))
+	}
+	// shipmode: 7 distinct values → 1-byte codes (Figure 4's headline).
+	sm, err := tab.Column("shipmode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Width() != 1 || sm.Enc == nil {
+		t.Errorf("shipmode width = %d, enc = %v; want 1-byte encoded", sm.Width(), sm.Enc != nil)
+	}
+	// qty ≤ 50 fits one byte after integer shrinking.
+	qty, _ := tab.Column("qty")
+	if qty.Width() != 1 {
+		t.Errorf("qty width = %d, want 1", qty.Width())
+	}
+	// order numbers exceed 16 bits at this cardinality? 1000+999 <
+	// 32768, so 2 bytes.
+	ord, _ := tab.Column("order")
+	if ord.Width() != 2 {
+		t.Errorf("order width = %d, want 2", ord.Width())
+	}
+	// The decomposed tuple is far narrower than the N-ary record.
+	if tab.BUNWidth() >= tab.Schema.RowWidth()/2 {
+		t.Errorf("BUN width %d not ≪ row width %d", tab.BUNWidth(), tab.Schema.RowWidth())
+	}
+}
+
+func TestDecomposeTypeErrors(t *testing.T) {
+	schema := Schema{Name: "t", Cols: []ColumnDef{{Name: "a", Type: LInt}}}
+	if _, err := Decompose(schema, [][]any{{"oops"}}); err == nil {
+		t.Error("wrong field type accepted")
+	}
+	bad := Schema{Name: "t", Cols: []ColumnDef{{Name: "a", Type: LogicalType(99)}}}
+	if _, err := Decompose(bad, [][]any{{int64(1)}}); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := ItemSchema()
+	if _, err := s.Col("shipmode"); err != nil {
+		t.Error(err)
+	}
+	if _, err := s.Col("nope"); err == nil {
+		t.Error("missing column found")
+	}
+	tab := itemTable(t, 10)
+	if _, err := tab.Column("nope"); err == nil {
+		t.Error("missing column found on table")
+	}
+	for typ, want := range map[LogicalType]string{LInt: "int", LFloat: "float", LString: "string", LDate: "date"} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q", typ, typ.String())
+		}
+	}
+}
+
+func TestSelectStringRemapsToCode(t *testing.T) {
+	tab := itemTable(t, 2000)
+	oids, err := tab.SelectString(nil, "shipmode", "MAIL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: regenerate rows.
+	items := workload.Items(2000, 42)
+	want := 0
+	for _, it := range items {
+		if it.ShipMode == "MAIL" {
+			want++
+		}
+	}
+	if len(oids) != want {
+		t.Errorf("MAIL selection: %d rows, want %d", len(oids), want)
+	}
+	// Every result row really is MAIL.
+	vals, err := tab.GatherString(nil, "shipmode", oids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if v != "MAIL" {
+			t.Fatalf("gathered %q", v)
+		}
+	}
+	// Out-of-domain value: empty, no error.
+	none, err := tab.SelectString(nil, "shipmode", "TELEPORT")
+	if err != nil || len(none) != 0 {
+		t.Errorf("out-of-domain: %d rows, err %v", len(none), err)
+	}
+}
+
+func TestSelectRange(t *testing.T) {
+	tab := itemTable(t, 2000)
+	oids, err := tab.SelectRange(nil, "date1", 9000, 9499)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := workload.Items(2000, 42)
+	want := 0
+	for _, it := range items {
+		if it.Date1 >= 9000 && it.Date1 <= 9499 {
+			want++
+		}
+	}
+	if len(oids) != want {
+		t.Errorf("date range: %d rows, want %d", len(oids), want)
+	}
+	if _, err := tab.SelectRange(nil, "shipmode", 0, 1); err == nil {
+		t.Error("range select on encoded column accepted")
+	}
+	if _, err := tab.SelectRange(nil, "nope", 0, 1); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestGatherers(t *testing.T) {
+	tab := itemTable(t, 500)
+	items := workload.Items(500, 42)
+	oids := []bat.Oid{0, 10, 499}
+	fs, err := tab.GatherFloat(nil, "price", oids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := tab.GatherInt(nil, "qty", oids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := tab.GatherString(nil, "shipmode", oids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range oids {
+		it := items[o]
+		if fs[i] != it.Price || is[i] != int64(it.Qty) || ss[i] != it.ShipMode {
+			t.Errorf("row %d: got (%v,%v,%v), want (%v,%v,%v)", o, fs[i], is[i], ss[i], it.Price, it.Qty, it.ShipMode)
+		}
+	}
+	// Bad OID.
+	if _, err := tab.GatherFloat(nil, "price", []bat.Oid{9999}); err == nil {
+		t.Error("out-of-range OID accepted")
+	}
+	// Type mismatches.
+	if _, err := tab.GatherFloat(nil, "qty", oids); err != nil == false {
+		t.Error("GatherFloat on int column accepted")
+	}
+	if _, err := tab.GatherString(nil, "price", oids); err == nil {
+		t.Error("GatherString on float column accepted")
+	}
+}
+
+func TestGroupAggregateFullQuery(t *testing.T) {
+	// SELECT shipmode, COUNT(*), SUM(price*(1-discnt))
+	// FROM item WHERE date1 BETWEEN 8500 AND 9499 GROUP BY shipmode
+	const n = 5000
+	tab := itemTable(t, n)
+	oids, err := tab.SelectRange(nil, "date1", 8500, 9499)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gather discnt per OID to fold into the expression via closure
+	// over a gathered column (price is the measure).
+	discnt, err := tab.GatherFloat(nil, "discnt", oids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := 0
+	rows, err := tab.GroupAggregate(nil, "shipmode", "price", oids, func(p float64) float64 {
+		v := p * (1 - discnt[di])
+		di++
+		return v
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle over the raw rows.
+	items := workload.Items(n, 42)
+	wantSum := map[string]float64{}
+	wantCnt := map[string]int64{}
+	for _, it := range items {
+		if it.Date1 >= 8500 && it.Date1 <= 9499 {
+			wantSum[it.ShipMode] += it.Price * (1 - it.Discnt)
+			wantCnt[it.ShipMode]++
+		}
+	}
+	if len(rows) != len(wantSum) {
+		t.Fatalf("%d groups, want %d", len(rows), len(wantSum))
+	}
+	for _, r := range rows {
+		if r.Count != wantCnt[r.Key] {
+			t.Errorf("%s: count %d, want %d", r.Key, r.Count, wantCnt[r.Key])
+		}
+		if math.Abs(r.Sum-wantSum[r.Key]) > 1e-6*math.Max(1, wantSum[r.Key]) {
+			t.Errorf("%s: sum %v, want %v", r.Key, r.Sum, wantSum[r.Key])
+		}
+	}
+}
+
+func TestGroupAggregateWholeTable(t *testing.T) {
+	tab := itemTable(t, 1000)
+	rows, err := tab.GroupAggregate(nil, "status", "tax", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalCnt int64
+	for _, r := range rows {
+		totalCnt += r.Count
+	}
+	if totalCnt != 1000 {
+		t.Errorf("counts sum to %d, want 1000", totalCnt)
+	}
+}
+
+func TestScanColumnStatsOrdering(t *testing.T) {
+	// §3.1: scanning one column costs NSM > BUN(8B) > encoded byte.
+	tab := itemTable(t, 100000)
+	m := memsim.Origin2000()
+	nsm, bun, dsmS, err := tab.ScanColumnStats(m, "shipmode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dsmS.ElapsedNanos() < bun.ElapsedNanos() && bun.ElapsedNanos() < nsm.ElapsedNanos()) {
+		t.Errorf("scan cost ordering violated: dsm=%.2f bun=%.2f nsm=%.2f ms",
+			dsmS.ElapsedMillis(), bun.ElapsedMillis(), nsm.ElapsedMillis())
+	}
+	// The N-ary record is ≥ 80 bytes (Figure 4).
+	if tab.Schema.RowWidth() < 80 {
+		t.Errorf("row width = %d, want ≥ 80", tab.Schema.RowWidth())
+	}
+}
+
+func TestInstrumentedQueryRuns(t *testing.T) {
+	sim := memsim.MustNew(memsim.Origin2000())
+	tab := itemTable(t, 20000)
+	tab.Bind(sim)
+	oids, err := tab.SelectString(sim, "shipmode", "AIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) == 0 {
+		t.Fatal("no AIR rows")
+	}
+	if _, err := tab.GroupAggregate(sim, "status", "price", oids, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Stats()
+	if st.Accesses == 0 || st.ElapsedNanos() <= 0 {
+		t.Errorf("no simulated activity: %v", st)
+	}
+}
+
+// Property: decompose→gather round-trips arbitrary small tables.
+func TestDecomposeGatherRoundtripProperty(t *testing.T) {
+	schema := Schema{Name: "p", Cols: []ColumnDef{
+		{Name: "k", Type: LInt},
+		{Name: "v", Type: LFloat},
+		{Name: "s", Type: LString},
+	}}
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		rng := workload.NewRNG(seed)
+		rows := make([][]any, n)
+		for i := range rows {
+			rows[i] = []any{
+				int64(rng.Intn(1 << 20)),
+				float64(rng.Intn(1000)) / 7,
+				[]string{"a", "b", "c"}[rng.Intn(3)],
+			}
+		}
+		tab, err := Decompose(schema, rows)
+		if err != nil {
+			return false
+		}
+		oids := make([]bat.Oid, n)
+		for i := range oids {
+			oids[i] = bat.Oid(i)
+		}
+		is, err1 := tab.GatherInt(nil, "k", oids)
+		fs, err2 := tab.GatherFloat(nil, "v", oids)
+		ss, err3 := tab.GatherString(nil, "s", oids)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for i := range rows {
+			if is[i] != rows[i][0].(int64) || fs[i] != rows[i][1].(float64) || ss[i] != rows[i][2].(string) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

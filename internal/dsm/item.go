@@ -1,0 +1,38 @@
+package dsm
+
+import "monetlite/internal/workload"
+
+// ItemSchema is the Figure-4 "Item" table schema.
+func ItemSchema() Schema {
+	return Schema{
+		Name: "item",
+		Cols: []ColumnDef{
+			{Name: "order", Type: LInt},
+			{Name: "part", Type: LInt},
+			{Name: "supp", Type: LInt},
+			{Name: "qty", Type: LInt},
+			{Name: "price", Type: LFloat},
+			{Name: "discnt", Type: LFloat},
+			{Name: "tax", Type: LFloat},
+			{Name: "status", Type: LString},
+			{Name: "date1", Type: LDate},
+			{Name: "date2", Type: LDate},
+			{Name: "shipmode", Type: LString},
+			{Name: "comment", Type: LString},
+		},
+	}
+}
+
+// ItemTable generates and decomposes n deterministic Item rows.
+func ItemTable(n int, seed uint64) (*Table, error) {
+	items := workload.Items(n, seed)
+	rows := make([][]any, n)
+	for i, it := range items {
+		rows[i] = []any{
+			int64(it.Order), int64(it.Part), int64(it.Supp), int64(it.Qty),
+			it.Price, it.Discnt, it.Tax, it.Status,
+			it.Date1, it.Date2, it.ShipMode, it.Comment,
+		}
+	}
+	return Decompose(ItemSchema(), rows)
+}

@@ -1,0 +1,106 @@
+package dsm
+
+import (
+	"fmt"
+
+	"monetlite/internal/bat"
+	"monetlite/internal/core"
+	"monetlite/internal/memsim"
+)
+
+// JoinResult is the outcome of a table-level equi-join: the join index
+// ([left OID, right OID] pairs, [Val87]) plus handles to both tables
+// for reconstruction.
+type JoinResult struct {
+	Index *bat.Pairs
+	Left  *Table
+	Right *Table
+}
+
+// Len returns the number of matching row pairs.
+func (j *JoinResult) Len() int { return j.Index.Len() }
+
+// LeftOids returns the left-side OIDs of the join index.
+func (j *JoinResult) LeftOids() []bat.Oid {
+	out := make([]bat.Oid, j.Index.Len())
+	for i, b := range j.Index.BUNs {
+		out[i] = b.Head
+	}
+	return out
+}
+
+// RightOids returns the right-side OIDs of the join index.
+func (j *JoinResult) RightOids() []bat.Oid {
+	out := make([]bat.Oid, j.Index.Len())
+	for i, b := range j.Index.BUNs {
+		out[i] = bat.Oid(b.Tail)
+	}
+	return out
+}
+
+// joinColumn materializes a [OID, value] BAT from an integer column,
+// the Monet plan step feeding a join. Values must fit in 32 bits
+// unsigned — the BUN layout of the paper's join kernels.
+func joinColumn(sim *memsim.Sim, t *Table, column string) (*bat.Pairs, error) {
+	c, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	switch c.Def.Type {
+	case LInt, LDate:
+	default:
+		return nil, fmt.Errorf("dsm: join column %s.%s is %v, want int/date", t.Schema.Name, column, c.Def.Type)
+	}
+	c.Vec.Bind(sim)
+	pairs := bat.NewPairs(t.N)
+	pairs.Bind(sim)
+	for i := 0; i < t.N; i++ {
+		c.Vec.Touch(sim, i)
+		v := c.Vec.Int(i)
+		if v < 0 || v > 1<<32-1 {
+			return nil, fmt.Errorf("dsm: join value %d of %s.%s outside uint32", v, t.Schema.Name, column)
+		}
+		if sim != nil {
+			sim.Write(pairs.Addr(i), bat.PairSize)
+		}
+		pairs.BUNs[i] = bat.Pair{Head: bat.Oid(i), Tail: uint32(v)}
+	}
+	return pairs, nil
+}
+
+// Join equi-joins left.leftCol = right.rightCol with the strategy the
+// cost models pick for the cardinality (core.PlanAuto) — the full
+// Monet pipeline: materialize both join columns as BATs, radix-cluster
+// and join them, return the join index.
+func Join(sim *memsim.Sim, left *Table, leftCol string, right *Table, rightCol string, m memsim.Machine) (*JoinResult, error) {
+	l, err := joinColumn(sim, left, leftCol)
+	if err != nil {
+		return nil, err
+	}
+	r, err := joinColumn(sim, right, rightCol)
+	if err != nil {
+		return nil, err
+	}
+	c := left.N
+	if right.N > c {
+		c = right.N
+	}
+	plan := core.PlanAuto(c, m)
+	idx, err := core.Execute(sim, l, r, plan, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &JoinResult{Index: idx, Left: left, Right: right}, nil
+}
+
+// GatherLeftString reconstructs a left-table string column along the
+// join index (a positional void join, §3.1).
+func (j *JoinResult) GatherLeftString(sim *memsim.Sim, column string) ([]string, error) {
+	return j.Left.GatherString(sim, column, j.LeftOids())
+}
+
+// GatherRightFloat reconstructs a right-table float column along the
+// join index.
+func (j *JoinResult) GatherRightFloat(sim *memsim.Sim, column string) ([]float64, error) {
+	return j.Right.GatherFloat(sim, column, j.RightOids())
+}

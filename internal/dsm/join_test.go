@@ -1,0 +1,119 @@
+package dsm
+
+import (
+	"testing"
+
+	"monetlite/internal/memsim"
+	"monetlite/internal/workload"
+)
+
+// orderTable builds a small dimension table of order ids and
+// priorities to join the Item fact table against.
+func orderTable(t *testing.T, n int) *Table {
+	t.Helper()
+	schema := Schema{
+		Name: "order",
+		Cols: []ColumnDef{
+			{Name: "id", Type: LInt},
+			{Name: "priority", Type: LString},
+			{Name: "fee", Type: LFloat},
+		},
+	}
+	rng := workload.NewRNG(99)
+	rows := make([][]any, n)
+	prios := []string{"LOW", "MEDIUM", "HIGH"}
+	for i := range rows {
+		rows[i] = []any{int64(1000 + i), prios[rng.Intn(3)], float64(rng.Intn(100))}
+	}
+	tab, err := Decompose(schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestJoinItemOrder(t *testing.T) {
+	const n = 2000
+	items := itemTable(t, n)   // item.order ∈ [1000, 1000+n)
+	orders := orderTable(t, n) // order.id = 1000+i
+	m := memsim.Origin2000()
+	res, err := Join(nil, items, "order", orders, "id", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// item.order = 1000+i is unique per row and matches order.id
+	// exactly once: n result pairs.
+	if res.Len() != n {
+		t.Fatalf("join produced %d pairs, want %d", res.Len(), n)
+	}
+	// The join index must align matching values.
+	itemOrder, err := items.GatherInt(nil, "order", res.LeftOids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orderID, err := orders.GatherInt(nil, "id", res.RightOids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range itemOrder {
+		if itemOrder[i] != orderID[i] {
+			t.Fatalf("pair %d: item.order %d != order.id %d", i, itemOrder[i], orderID[i])
+		}
+	}
+	// Reconstruction along the index.
+	prios, err := res.GatherRightFloat(nil, "fee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prios) != n {
+		t.Errorf("gathered %d fees", len(prios))
+	}
+	modes, err := res.GatherLeftString(nil, "shipmode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != n {
+		t.Errorf("gathered %d shipmodes", len(modes))
+	}
+}
+
+func TestJoinInstrumented(t *testing.T) {
+	items := itemTable(t, 5000)
+	orders := orderTable(t, 5000)
+	m := memsim.Origin2000()
+	sim := memsim.MustNew(m)
+	res, err := Join(sim, items, "order", orders, "id", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5000 {
+		t.Fatalf("join produced %d pairs", res.Len())
+	}
+	if sim.Stats().Accesses == 0 {
+		t.Error("instrumented join did no simulated accesses")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	items := itemTable(t, 10)
+	orders := orderTable(t, 10)
+	m := memsim.Origin2000()
+	if _, err := Join(nil, items, "shipmode", orders, "id", m); err == nil {
+		t.Error("join on encoded string column accepted")
+	}
+	if _, err := Join(nil, items, "price", orders, "id", m); err == nil {
+		t.Error("join on float column accepted")
+	}
+	if _, err := Join(nil, items, "nope", orders, "id", m); err == nil {
+		t.Error("join on missing column accepted")
+	}
+	// Negative values do not fit the uint32 BUN layout.
+	neg, err := Decompose(Schema{Name: "neg", Cols: []ColumnDef{{Name: "k", Type: LInt}}},
+		[][]any{{int64(-5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Join(nil, neg, "k", orders, "id", m); err == nil {
+		t.Error("negative join key accepted")
+	}
+}

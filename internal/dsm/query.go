@@ -1,0 +1,284 @@
+package dsm
+
+import (
+	"fmt"
+
+	"monetlite/internal/agg"
+	"monetlite/internal/bat"
+	"monetlite/internal/memsim"
+)
+
+// SelectRange returns the OIDs of rows whose numeric column value lies
+// in [lo, hi]: a scan-select over the decomposed column (optimal
+// locality; the §3.2 low-selectivity access path).
+func (t *Table) SelectRange(sim *memsim.Sim, column string, lo, hi int64) ([]bat.Oid, error) {
+	c, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	if c.Enc != nil {
+		return nil, fmt.Errorf("dsm: SelectRange on encoded column %q; use SelectStringRange", column)
+	}
+	c.Vec.Bind(sim)
+	var out []bat.Oid
+	for i := 0; i < c.Vec.Len(); i++ {
+		c.Vec.Touch(sim, i)
+		if v := c.Vec.Int(i); v >= lo && v <= hi {
+			out = append(out, bat.Oid(i))
+		}
+	}
+	if sim != nil {
+		sim.AddCPU(c.Vec.Len(), sim.Machine().Cost.WScanBUN/4)
+	}
+	return out, nil
+}
+
+// SelectString returns the OIDs of rows whose string column equals
+// value. On an encoded column the predicate is re-mapped to a 1-byte
+// code comparison — "a selection on a string 'MAIL' can be re-mapped
+// to a selection on a byte with value 3" (§3.1) — so the scan never
+// decodes.
+func (t *Table) SelectString(sim *memsim.Sim, column, value string) ([]bat.Oid, error) {
+	c, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	if c.Enc == nil {
+		sv, ok := c.Vec.(*bat.StrVec)
+		if !ok {
+			return nil, fmt.Errorf("dsm: column %q is not a string column", column)
+		}
+		var out []bat.Oid
+		for i := 0; i < sv.Len(); i++ {
+			sv.Touch(sim, i)
+			if sv.Str(i) == value {
+				out = append(out, bat.Oid(i))
+			}
+		}
+		return out, nil
+	}
+	code, ok := c.Enc.Code(value)
+	if !ok {
+		return nil, nil // value outside domain: empty result
+	}
+	c.Vec.Bind(sim)
+	var out []bat.Oid
+	for i := 0; i < c.Vec.Len(); i++ {
+		c.Vec.Touch(sim, i)
+		if codeOf(c, i) == code {
+			out = append(out, bat.Oid(i))
+		}
+	}
+	if sim != nil {
+		sim.AddCPU(c.Vec.Len(), sim.Machine().Cost.WScanBUN/4)
+	}
+	return out, nil
+}
+
+// codeOf reads the unsigned dictionary code at position i.
+func codeOf(c *Column, i int) int64 {
+	v := c.Vec.Int(i)
+	if v < 0 {
+		switch c.Vec.Type() {
+		case bat.TI8:
+			v += 1 << 8
+		case bat.TI16:
+			v += 1 << 16
+		}
+	}
+	return v
+}
+
+// GatherFloat reconstructs the float values of the given OIDs by
+// positional lookup — the void-column tuple-reconstruction join whose
+// cost §3.1 calls effectively eliminated.
+func (t *Table) GatherFloat(sim *memsim.Sim, column string, oids []bat.Oid) ([]float64, error) {
+	c, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	fv, ok := c.Vec.(*bat.F64Vec)
+	if !ok {
+		return nil, fmt.Errorf("dsm: column %q is not a float column", column)
+	}
+	fv.Bind(sim)
+	out := make([]float64, len(oids))
+	for i, o := range oids {
+		pos, ok := t.Head.Position(o)
+		if !ok {
+			return nil, fmt.Errorf("dsm: OID %d outside table", o)
+		}
+		fv.Touch(sim, pos)
+		out[i] = fv.Float(pos)
+	}
+	return out, nil
+}
+
+// GatherInt reconstructs integer/date values of the given OIDs.
+func (t *Table) GatherInt(sim *memsim.Sim, column string, oids []bat.Oid) ([]int64, error) {
+	c, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	c.Vec.Bind(sim)
+	out := make([]int64, len(oids))
+	for i, o := range oids {
+		pos, ok := t.Head.Position(o)
+		if !ok {
+			return nil, fmt.Errorf("dsm: OID %d outside table", o)
+		}
+		c.Vec.Touch(sim, pos)
+		out[i] = c.Vec.Int(pos)
+	}
+	return out, nil
+}
+
+// GatherString reconstructs (and decodes) string values of the given
+// OIDs. Decoding happens only here, at result materialization.
+func (t *Table) GatherString(sim *memsim.Sim, column string, oids []bat.Oid) ([]string, error) {
+	c, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(oids))
+	for i, o := range oids {
+		pos, ok := t.Head.Position(o)
+		if !ok {
+			return nil, fmt.Errorf("dsm: OID %d outside table", o)
+		}
+		c.Vec.Touch(sim, pos)
+		switch {
+		case c.Enc != nil:
+			out[i] = c.Enc.Decode(c.Vec.Int(pos))
+		default:
+			sv, ok := c.Vec.(*bat.StrVec)
+			if !ok {
+				return nil, fmt.Errorf("dsm: column %q is not a string column", column)
+			}
+			out[i] = sv.Str(pos)
+		}
+	}
+	return out, nil
+}
+
+// AggregateRow is one row of a grouped aggregate result, with the
+// group key decoded back to its string form when the key column is
+// encoded.
+type AggregateRow struct {
+	Key   string
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// GroupAggregate computes per-group aggregates of a measure expression
+// over the qualifying OIDs (nil oids = all rows): the Monet-style plan
+// for SELECT key, SUM(measure) ... GROUP BY key. Key must be a string
+// (usually encoded) column; measure a float column. The measure can be
+// transformed by expr (nil = identity), evaluated per tuple.
+func (t *Table) GroupAggregate(sim *memsim.Sim, keyCol, measureCol string, oids []bat.Oid, expr func(float64) float64) ([]AggregateRow, error) {
+	kc, err := t.Column(keyCol)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := t.Column(measureCol)
+	if err != nil {
+		return nil, err
+	}
+	mv, ok := mc.Vec.(*bat.F64Vec)
+	if !ok {
+		return nil, fmt.Errorf("dsm: measure column %q is not float", measureCol)
+	}
+	kc.Vec.Bind(sim)
+	mv.Bind(sim)
+
+	// Materialize the qualifying (code, measure) pair columns; with nil
+	// OIDs this is a pure scan, otherwise a positional gather.
+	n := t.N
+	if oids != nil {
+		n = len(oids)
+	}
+	codes := make([]int16, n)
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pos := i
+		if oids != nil {
+			p, ok := t.Head.Position(oids[i])
+			if !ok {
+				return nil, fmt.Errorf("dsm: OID %d outside table", oids[i])
+			}
+			pos = p
+		}
+		kc.Vec.Touch(sim, pos)
+		mv.Touch(sim, pos)
+		codes[i] = int16(codeOf(kc, pos))
+		v := mv.Float(pos)
+		if expr != nil {
+			v = expr(v)
+		}
+		vals[i] = v
+	}
+	res, err := agg.HashGroup(sim, bat.NewI16(codes), bat.NewF64(vals))
+	if err != nil {
+		return nil, err
+	}
+	sorted := res.Sorted()
+	rows := make([]AggregateRow, sorted.Groups())
+	for i := range rows {
+		key := fmt.Sprintf("%d", sorted.Key[i])
+		if kc.Enc != nil {
+			key = kc.Enc.Decode(sorted.Key[i])
+		}
+		rows[i] = AggregateRow{
+			Key:   key,
+			Count: sorted.Count[i],
+			Sum:   sorted.Sum[i],
+			Min:   sorted.Min[i],
+			Max:   sorted.Max[i],
+		}
+	}
+	return rows, nil
+}
+
+// ScanColumnStats runs the §3.1 motivating comparison for one column
+// of this table: the simulated cost of aggregating that column when
+// stored (a) inside N-ary records of the schema's full row width,
+// (b) as an 8-byte BUN column, and (c) in its actual decomposed width
+// (1 byte for an encoded shipmode). It returns the three stat sets.
+func (t *Table) ScanColumnStats(m memsim.Machine, column string) (nsm, bun, dsmStats memsim.Stats, err error) {
+	c, err := t.Column(column)
+	if err != nil {
+		return nsm, bun, dsmStats, err
+	}
+	width := c.Width()
+	if width == 0 {
+		width = 1
+	}
+	nsm, err = scanWidth(m, t.N, t.Schema.RowWidth())
+	if err != nil {
+		return nsm, bun, dsmStats, err
+	}
+	bun, err = scanWidth(m, t.N, bat.PairSize)
+	if err != nil {
+		return nsm, bun, dsmStats, err
+	}
+	dsmStats, err = scanWidth(m, t.N, width)
+	return nsm, bun, dsmStats, err
+}
+
+// scanWidth simulates a one-field scan over n records of the given
+// width (cold caches), like the Figure-3 experiment.
+func scanWidth(m memsim.Machine, n, width int) (memsim.Stats, error) {
+	sim, err := memsim.New(m)
+	if err != nil {
+		return memsim.Stats{}, err
+	}
+	base := sim.Alloc(n * width)
+	sim.InvalidateCaches()
+	for i := 0; i < n; i++ {
+		sim.Read(base+uint64(i)*uint64(width), 1)
+	}
+	sim.AddCPU(n, m.Cost.WScanBUN)
+	return sim.Stats(), nil
+}

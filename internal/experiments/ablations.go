@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"monetlite/internal/agg"
+	"monetlite/internal/bat"
+	"monetlite/internal/memsim"
+	"monetlite/internal/sel"
+	"monetlite/internal/workload"
+)
+
+// SelAblation quantifies the §3.2 selection discussion: point lookups
+// and range selections of varying selectivity over a large column,
+// comparing scan-select, bucket-chained hash index, T-tree [LC86] and
+// the cache-line B-tree [Ron98], in simulated misses and time.
+func SelAblation(cfg Config) error {
+	cfg = cfg.withDefaults()
+	n := 1 << 18
+	if cfg.Full {
+		n = 1 << 21
+	}
+	if cfg.CardOverride > 0 {
+		n = cfg.CardOverride
+	}
+	rng := workload.NewRNG(cfg.Seed)
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = int32(rng.Intn(1 << 28))
+	}
+
+	sim, err := cfg.newSim()
+	if err != nil {
+		return err
+	}
+	col := sel.NewColumn(vals)
+	hx := sel.BuildHashIndex(sim, col)
+	tt := sel.BuildTTree(sim, col)
+	ct := sel.BuildCSSTree(sim, col)
+
+	const lookups = 1000
+	keys := make([]int32, lookups)
+	for i := range keys {
+		keys[i] = vals[rng.Intn(n)]
+	}
+	measure := func(f func(k int32)) memsim.Stats {
+		sim.Reset()
+		for _, k := range keys {
+			f(k)
+		}
+		return sim.Stats()
+	}
+
+	point := newTable(fmt.Sprintf("§3.2 ablation — %d point lookups on a %s-row column", lookups, workload.Describe(n)),
+		"access path", "ms", "L1", "L2", "TLB")
+	rows := []struct {
+		name string
+		st   memsim.Stats
+	}{
+		{"scan-select", measure(func(k int32) { sel.ScanSelect(sim, col, k, k) })},
+		{"hash index", measure(func(k int32) { hx.Lookup(sim, k) })},
+		{"T-tree", measure(func(k int32) { tt.Lookup(sim, k) })},
+		{"cache-line B-tree", measure(func(k int32) { ct.Lookup(sim, k) })},
+	}
+	for _, r := range rows {
+		point.addf("%s\t%s\t%s\t%s\t%s", r.name, ms(r.st.ElapsedMillis()), cnt(r.st.L1Misses), cnt(r.st.L2Misses), cnt(r.st.TLBMisses))
+	}
+	if err := cfg.emit(point, "sel_point.tsv"); err != nil {
+		return err
+	}
+
+	ranges := newTable("§3.2 ablation — range selection cost vs selectivity (ms)",
+		"selectivity", "scan-select", "T-tree", "cache-line B-tree")
+	for _, selPct := range []int{1, 10, 50, 90} {
+		hi := int32(float64(1<<28) * float64(selPct) / 100)
+		run := func(f func()) memsim.Stats {
+			sim.Reset()
+			f()
+			return sim.Stats()
+		}
+		scanSt := run(func() { sel.ScanSelect(sim, col, 0, hi) })
+		ttSt := run(func() { tt.RangeSelect(sim, 0, hi) })
+		ctSt := run(func() { ct.RangeSelect(sim, 0, hi) })
+		ranges.addf("%d%%\t%s\t%s\t%s", selPct, ms(scanSt.ElapsedMillis()), ms(ttSt.ElapsedMillis()), ms(ctSt.ElapsedMillis()))
+	}
+	return cfg.emit(ranges, "sel_range.tsv")
+}
+
+// AggAblation quantifies the §3.2 grouping discussion: hash-grouping
+// versus sort/merge grouping as the number of groups grows past the
+// cache sizes.
+func AggAblation(cfg Config) error {
+	cfg = cfg.withDefaults()
+	n := 1 << 18
+	if cfg.Full {
+		n = 1 << 21
+	}
+	if cfg.CardOverride > 0 {
+		n = cfg.CardOverride
+	}
+	t := newTable(fmt.Sprintf("§3.2 ablation — grouping %s rows (simulated ms)", workload.Describe(n)),
+		"groups", "hash-group", "sort-group", "hash L2 misses", "sort L2 misses")
+	for _, groups := range []int{8, 256, 4096, 65536, 1 << 20} {
+		if groups > n {
+			continue
+		}
+		rng := workload.NewRNG(cfg.Seed + uint64(groups))
+		keys := make([]int32, n)
+		vals := make([]float64, n)
+		for i := range keys {
+			keys[i] = int32(rng.Intn(groups))
+			vals[i] = float64(rng.Intn(1000))
+		}
+		simH, err := cfg.newSim()
+		if err != nil {
+			return err
+		}
+		if _, err := agg.HashGroup(simH, bat.NewI32(keys), bat.NewF64(vals)); err != nil {
+			return err
+		}
+		simS, err := cfg.newSim()
+		if err != nil {
+			return err
+		}
+		if _, err := agg.SortGroup(simS, bat.NewI32(keys), bat.NewF64(vals)); err != nil {
+			return err
+		}
+		h, s := simH.Stats(), simS.Stats()
+		t.addf("%d\t%s\t%s\t%s\t%s", groups, ms(h.ElapsedMillis()), ms(s.ElapsedMillis()), cnt(h.L2Misses), cnt(s.L2Misses))
+	}
+	return cfg.emit(t, "agg_groups.tsv")
+}

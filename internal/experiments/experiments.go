@@ -1,0 +1,211 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation as text tables and TSV series: the Figure-3 stride scan,
+// the Figure-9 radix-cluster sweep, the isolated join sweeps of
+// Figures 10 and 11, and the overall comparisons of Figures 12 and 13,
+// plus the §3.2 selection and aggregation ablations. Simulated
+// measurements are printed side by side with the paper's analytical
+// model predictions.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"monetlite/internal/memsim"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	Machine memsim.Machine
+	Out     io.Writer
+
+	// Full selects the paper-scale cardinalities (8M tuples for
+	// Figure 9, 8M top card for Figures 10–13). The default "quick"
+	// scale caps cardinalities near 1M so a full regeneration finishes
+	// in minutes.
+	Full bool
+
+	// Huge additionally enables the 64M-tuple points (needs several GB
+	// of memory and a long run, like the paper's own largest runs).
+	Huge bool
+
+	// Budget caps simulated accesses per experiment point; points that
+	// exceed it are reported as "skipped", mirroring the paper's
+	// 15-minute cap per run (§3.4.3). Zero means the default 2e9.
+	Budget uint64
+
+	// TSVDir, when non-empty, receives one TSV file per figure for
+	// replotting.
+	TSVDir string
+
+	// CardOverride, when positive, replaces every cardinality sweep
+	// with this single cardinality — smoke tests and quick looks.
+	CardOverride int
+
+	Seed uint64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Out == nil {
+		c.Out = os.Stdout
+	}
+	if c.Machine.Name == "" {
+		c.Machine = memsim.Origin2000()
+	}
+	if c.Budget == 0 {
+		c.Budget = 2_000_000_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1999
+	}
+	return c
+}
+
+// newSim builds a budgeted simulator for one experiment point.
+func (c Config) newSim() (*memsim.Sim, error) {
+	sim, err := memsim.New(c.Machine)
+	if err != nil {
+		return nil, err
+	}
+	sim.Budget = c.Budget
+	return sim, nil
+}
+
+// table renders aligned text tables.
+type table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+func newTable(title string, headers ...string) *table {
+	return &table{title: title, headers: headers}
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...any) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+func (t *table) write(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.title)
+	b.WriteString("\n")
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(fmt.Sprintf("%*s", widths[i], c))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	total := len(t.headers) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeTSV writes the table's raw cells as a TSV file in dir.
+func (t *table) writeTSV(dir, name string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(t.headers, "\t"))
+	b.WriteString("\n")
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, "\t"))
+		b.WriteString("\n")
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644)
+}
+
+// emit renders the table to the config's writer and TSV directory.
+func (c Config) emit(t *table, tsvName string) error {
+	if err := t.write(c.Out); err != nil {
+		return err
+	}
+	return t.writeTSV(c.TSVDir, tsvName)
+}
+
+// ms formats milliseconds compactly.
+func ms(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// cnt formats large event counts compactly (scientific-ish).
+func cnt(v uint64) string {
+	switch {
+	case v >= 100_000_000:
+		return fmt.Sprintf("%.2fe9", float64(v)/1e9)
+	case v >= 100_000:
+		return fmt.Sprintf("%.2fe6", float64(v)/1e6)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+// All regenerates every figure and ablation in order.
+func All(cfg Config) error {
+	steps := []struct {
+		name string
+		run  func(Config) error
+	}{
+		{"figure 1", Fig1},
+		{"figure 3", Fig3},
+		{"figure 9", Fig9},
+		{"figure 10", Fig10},
+		{"figure 11", Fig11},
+		{"figure 12", Fig12},
+		{"figure 13", Fig13},
+		{"selection ablation", SelAblation},
+		{"aggregation ablation", AggAblation},
+		{"virtual-memory ablation", VMAblation},
+		{"bit-split ablation", BitSplitAblation},
+		{"skew ablation", SkewAblation},
+		{"prefetch ablation", PrefetchAblation},
+		{"modern-profile ablation", ModernAblation},
+	}
+	for _, s := range steps {
+		if err := s.run(cfg); err != nil {
+			return fmt.Errorf("experiments: %s: %w", s.name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"monetlite/internal/memsim"
+)
+
+// smokeConfig builds a tiny-but-real configuration: 16K tuples keeps
+// every figure runner under a second while still exercising the whole
+// pipeline.
+func smokeConfig(t *testing.T) (Config, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	return Config{
+		Machine:      memsim.Origin2000(),
+		Out:          &buf,
+		CardOverride: 1 << 14,
+		TSVDir:       t.TempDir(),
+		Seed:         7,
+	}, &buf
+}
+
+func TestFig1Static(t *testing.T) {
+	cfg, buf := smokeConfig(t)
+	if err := Fig1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1979") || !strings.Contains(out, "1997") {
+		t.Errorf("trend table missing years:\n%s", out)
+	}
+}
+
+func TestFig3Runs(t *testing.T) {
+	cfg, buf := smokeConfig(t)
+	if err := Fig3(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, m := range []string{"origin2k", "sun450", "ultra", "sunLX"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("figure 3 missing machine %s", m)
+		}
+	}
+	if !strings.Contains(out, "stall fraction") {
+		t.Error("§2 claims table missing")
+	}
+}
+
+func TestFig9Runs(t *testing.T) {
+	cfg, buf := smokeConfig(t)
+	if err := Fig9(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"millisecs", "TLB misses", "L1 misses", "L2 misses", "P=1", "P=4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 9 output missing %q", want)
+		}
+	}
+	// TSV files written.
+	files, err := filepath.Glob(filepath.Join(cfg.TSVDir, "fig09_*.tsv"))
+	if err != nil || len(files) != 4 {
+		t.Errorf("expected 4 fig09 TSVs, got %d (%v)", len(files), err)
+	}
+}
+
+func TestFig10And11Run(t *testing.T) {
+	cfg, buf := smokeConfig(t)
+	if err := Fig10(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig11(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "radix-join") || !strings.Contains(out, "partitioned hash-join") {
+		t.Error("figure 10/11 titles missing")
+	}
+	if !strings.Contains(out, "clustersize") {
+		t.Error("cluster size column missing")
+	}
+}
+
+func TestFig12And13Run(t *testing.T) {
+	cfg, buf := smokeConfig(t)
+	if err := Fig12(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig13(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"phash ms", "radix ms", "strategy settings", "sort-merge", "simple hash", "auto pick"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 12/13 output missing %q", want)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	cfg, buf := smokeConfig(t)
+	if err := SelAblation(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := AggAblation(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"point lookups", "cache-line B-tree", "hash-group", "sort-group"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestBudgetSkipsExpensivePoints(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{
+		Machine:      memsim.Origin2000(),
+		Out:          &buf,
+		CardOverride: 1 << 14,
+		Budget:       200_000, // far too small: most points must skip
+		Seed:         7,
+	}
+	if err := Fig10(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "skip") {
+		t.Error("tiny budget produced no skipped points")
+	}
+}
+
+func TestAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("All is covered by the per-figure tests")
+	}
+	cfg, buf := smokeConfig(t)
+	if err := All(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("All produced no output")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := newTable("demo", "a", "bb")
+	tb.add("1", "2")
+	tb.addf("%d\t%s", 10, "xyz")
+	var buf bytes.Buffer
+	if err := tb.write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "xyz") {
+		t.Errorf("table output:\n%s", out)
+	}
+	dir := t.TempDir()
+	if err := tb.writeTSV(dir, "demo.tsv"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "demo.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "10\txyz") {
+		t.Errorf("tsv content: %q", data)
+	}
+	// Empty dir is a no-op.
+	if err := tb.writeTSV("", "x.tsv"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if ms(12345) != "12345" || ms(55.5) != "55.5" || ms(1.5) != "1.500" {
+		t.Errorf("ms formatting: %q %q %q", ms(12345), ms(55.5), ms(1.5))
+	}
+	if cnt(5) != "5" || cnt(2_500_000) != "2.50e6" || cnt(3_000_000_000) != "3.00e9" {
+		t.Errorf("cnt formatting: %q %q %q", cnt(5), cnt(2_500_000), cnt(3_000_000_000))
+	}
+}

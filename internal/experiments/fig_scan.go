@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"monetlite/internal/costmodel"
+	"monetlite/internal/memsim"
+	"monetlite/internal/scan"
+)
+
+// Fig1 prints the hardware-trend series behind Figure 1: CPU speed
+// growing ≈70%/year against DRAM speed growing ≈50% per decade
+// [Mow94]. The series is synthetic (the paper plots vendor data) but
+// reproduces the figure's log-scale divergence.
+func Fig1(cfg Config) error {
+	cfg = cfg.withDefaults()
+	t := newTable("Figure 1 — hardware trends in DRAM and CPU speed (MHz, log scale)",
+		"year", "cpu MHz", "dram MHz", "gap")
+	cpu, dram := 1.0, 1.0 // normalized to 1979
+	for year := 1979; year <= 1997; year++ {
+		if year > 1979 {
+			cpu *= 1.70   // +70% per year
+			dram *= 1.042 // +50% per decade ≈ +4.2% per year
+		}
+		t.addf("%d\t%.1f\t%.2f\t%.0fx", year, cpu, dram, cpu/dram)
+	}
+	return cfg.emit(t, "fig01_trends.tsv")
+}
+
+// Fig3 runs the §2 "reality check": 200,000 iterations of a one-byte
+// read at stride 1–256 on each machine profile, simulated elapsed
+// time next to the T(s) model prediction, plus the cycle breakdown
+// that backs the "95% of cycles waiting for memory" claim.
+func Fig3(cfg Config) error {
+	cfg = cfg.withDefaults()
+	iters := scan.Iterations
+	if !cfg.Full {
+		iters = scan.Iterations / 4
+	}
+	strides := []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 160, 192, 224, 256}
+
+	machines := memsim.Machines()
+	headers := []string{"stride"}
+	for _, m := range machines {
+		headers = append(headers, m.Name+" ms", m.Name+" model")
+	}
+	t := newTable(fmt.Sprintf("Figure 3 — simple in-memory scan of %d tuples (simulated ms vs T(s) model)", iters), headers...)
+	for _, s := range strides {
+		row := []string{fmt.Sprintf("%d", s)}
+		for _, m := range machines {
+			r, err := scan.Run(m, s, iters)
+			if err != nil {
+				return err
+			}
+			model := costmodel.New(m).ScanNanos(iters, s) / 1e6
+			row = append(row, ms(r.Millis()), ms(model))
+		}
+		t.add(row...)
+	}
+	if err := cfg.emit(t, "fig03_scan.tsv"); err != nil {
+		return err
+	}
+
+	// The §2 / §3.1 claims, quantified on the Origin2000.
+	o2k := memsim.Origin2000()
+	claims := newTable("§2/§3.1 claims on origin2k", "metric", "value")
+	full, err := scan.Run(o2k, 256, iters)
+	if err != nil {
+		return err
+	}
+	claims.addf("stall fraction at stride 256\t%.1f%%", 100*scan.StallFraction(full))
+	s8, err := scan.Run(o2k, 8, iters)
+	if err != nil {
+		return err
+	}
+	work, stall := scan.CyclesPerIteration(o2k, s8)
+	claims.addf("stride-8 cycles/iter (CPU + memory)\t%.1f + %.1f", work, stall)
+	s1, err := scan.Run(o2k, 1, iters)
+	if err != nil {
+		return err
+	}
+	w1, st1 := scan.CyclesPerIteration(o2k, s1)
+	claims.addf("stride-1 cycles/iter (CPU + memory)\t%.1f + %.1f", w1, st1)
+	return cfg.emit(claims, "fig03_claims.tsv")
+}

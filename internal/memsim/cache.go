@@ -1,0 +1,152 @@
+// Package memsim simulates a hierarchical memory system: set-associative
+// LRU caches (L1, L2), a fully-associative LRU TLB, and a page-aligned
+// virtual allocator. It stands in for the MIPS R10000 hardware event
+// counters used by Boncz, Manegold and Kersten (VLDB 1999): algorithms
+// mirror their data accesses into a Sim, which produces exact, fully
+// deterministic counts of L1 misses, L2 misses and TLB misses, plus a
+// simulated elapsed time computed from calibrated per-event latencies.
+package memsim
+
+import "fmt"
+
+// CacheSpec describes the geometry of one cache level.
+type CacheSpec struct {
+	Name     string // e.g. "L1"
+	Size     int    // total capacity in bytes
+	LineSize int    // bytes per cache line (power of two)
+	Assoc    int    // ways per set; 0 means fully associative
+}
+
+// Lines returns the total number of cache lines.
+func (c CacheSpec) Lines() int { return c.Size / c.LineSize }
+
+// Sets returns the number of sets given the associativity.
+func (c CacheSpec) Sets() int {
+	ways := c.Assoc
+	if ways <= 0 {
+		ways = c.Lines()
+	}
+	return c.Lines() / ways
+}
+
+func (c CacheSpec) validate() error {
+	switch {
+	case c.Size <= 0:
+		return fmt.Errorf("memsim: %s: non-positive size %d", c.Name, c.Size)
+	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("memsim: %s: line size %d is not a positive power of two", c.Name, c.LineSize)
+	case c.Size%c.LineSize != 0:
+		return fmt.Errorf("memsim: %s: size %d not a multiple of line size %d", c.Name, c.Size, c.LineSize)
+	case c.Assoc < 0:
+		return fmt.Errorf("memsim: %s: negative associativity %d", c.Name, c.Assoc)
+	case c.Assoc > 0 && c.Lines()%c.Assoc != 0:
+		return fmt.Errorf("memsim: %s: %d lines not divisible into %d ways", c.Name, c.Lines(), c.Assoc)
+	}
+	return nil
+}
+
+// cache is a set-associative cache with true LRU replacement per set.
+// Tags are stored flat: set s occupies tags[s*ways : (s+1)*ways], with
+// parallel last-use stamps. A zero stamp means the way is empty; the
+// clock starts at 1, so stamps of resident lines are always non-zero.
+type cache struct {
+	lineBits uint
+	setMask  uint64
+	ways     int
+	tags     []uint64
+	stamps   []uint64
+	clock    uint64
+
+	// lastLine short-circuits the common case of repeated access to the
+	// same line (sequential scans); it is invalidated on replacement of
+	// that line.
+	lastLine uint64
+
+	hits   uint64
+	misses uint64
+}
+
+func newCache(spec CacheSpec) *cache {
+	ways := spec.Assoc
+	if ways <= 0 {
+		ways = spec.Lines()
+	}
+	sets := spec.Lines() / ways
+	c := &cache{
+		ways:     ways,
+		tags:     make([]uint64, sets*ways),
+		stamps:   make([]uint64, sets*ways),
+		setMask:  uint64(sets - 1),
+		lastLine: ^uint64(0),
+	}
+	for lb := spec.LineSize; lb > 1; lb >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// access touches the line containing addr and reports whether it missed.
+// addr must already be a line-aligned "line address" (addr >> lineBits).
+func (c *cache) access(lineAddr uint64) bool {
+	if lineAddr == c.lastLine {
+		c.hits++
+		return false
+	}
+	c.clock++
+	set := lineAddr & c.setMask
+	base := int(set) * c.ways
+	victim := base
+	oldest := ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		if c.stamps[i] != 0 && c.tags[i] == lineAddr {
+			c.stamps[i] = c.clock
+			c.hits++
+			c.lastLine = lineAddr
+			return false
+		}
+		if c.stamps[i] < oldest {
+			oldest = c.stamps[i]
+			victim = i
+		}
+	}
+	// Miss: replace the LRU way in this set.
+	c.tags[victim] = lineAddr
+	c.stamps[victim] = c.clock
+	c.misses++
+	c.lastLine = lineAddr
+	return true
+}
+
+// contains reports whether the line is resident without touching LRU
+// state or counters (used by tests and diagnostics).
+func (c *cache) contains(lineAddr uint64) bool {
+	set := lineAddr & c.setMask
+	base := int(set) * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.stamps[i] != 0 && c.tags[i] == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// flush empties the cache and resets counters.
+func (c *cache) flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamps[i] = 0
+	}
+	c.clock = 0
+	c.lastLine = ^uint64(0)
+	c.hits = 0
+	c.misses = 0
+}
+
+// invalidate empties the cache contents but keeps counters running.
+func (c *cache) invalidate() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamps[i] = 0
+	}
+	c.lastLine = ^uint64(0)
+}

@@ -1,0 +1,200 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheSpecGeometry(t *testing.T) {
+	spec := CacheSpec{Name: "L1", Size: 32 << 10, LineSize: 32, Assoc: 2}
+	if got := spec.Lines(); got != 1024 {
+		t.Errorf("Lines() = %d, want 1024", got)
+	}
+	if got := spec.Sets(); got != 512 {
+		t.Errorf("Sets() = %d, want 512", got)
+	}
+	full := CacheSpec{Name: "FA", Size: 1024, LineSize: 64, Assoc: 0}
+	if got := full.Sets(); got != 1 {
+		t.Errorf("fully associative Sets() = %d, want 1", got)
+	}
+}
+
+func TestCacheSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec CacheSpec
+		ok   bool
+	}{
+		{"valid", CacheSpec{Name: "c", Size: 1024, LineSize: 32, Assoc: 2}, true},
+		{"zero size", CacheSpec{Name: "c", Size: 0, LineSize: 32}, false},
+		{"line not power of two", CacheSpec{Name: "c", Size: 1024, LineSize: 48}, false},
+		{"size not multiple of line", CacheSpec{Name: "c", Size: 1000, LineSize: 32}, false},
+		{"negative assoc", CacheSpec{Name: "c", Size: 1024, LineSize: 32, Assoc: -1}, false},
+		{"ways do not divide lines", CacheSpec{Name: "c", Size: 1024, LineSize: 32, Assoc: 5}, false},
+	}
+	for _, tc := range cases {
+		err := tc.spec.validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: validate() err=%v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// newTestCache builds a tiny cache: capacity lines = size/line.
+func newTestCache(size, line, assoc int) *cache {
+	return newCache(CacheSpec{Name: "t", Size: size, LineSize: line, Assoc: assoc})
+}
+
+func TestCacheSequentialScanMissPerLine(t *testing.T) {
+	c := newTestCache(1024, 32, 2) // 32 lines
+	misses := 0
+	// Scan 4096 bytes one byte at a time: 128 lines touched.
+	for addr := uint64(1 << 20); addr < (1<<20)+4096; addr++ {
+		if c.access(addr >> c.lineBits) {
+			misses++
+		}
+	}
+	if misses != 128 {
+		t.Errorf("sequential scan misses = %d, want 128", misses)
+	}
+}
+
+func TestCacheDirectMappedConflict(t *testing.T) {
+	c := newTestCache(1024, 32, 1) // 32 sets, direct mapped
+	a := uint64(0x100000)
+	b := a + 1024 // same set (stride = cache size)
+	if !c.access(a >> c.lineBits) {
+		t.Fatal("first access to a should miss")
+	}
+	if !c.access(b >> c.lineBits) {
+		t.Fatal("first access to b should miss")
+	}
+	// b evicted a in a direct-mapped cache.
+	if !c.access(a >> c.lineBits) {
+		t.Error("a should have been evicted by conflicting b")
+	}
+}
+
+func TestCacheTwoWayLRU(t *testing.T) {
+	c := newTestCache(2048, 32, 2) // 32 sets, 2 ways
+	base := uint64(0x100000)
+	a := base
+	b := base + 1024 // same set: stride = sets*line = 32*32 = 1024
+	d := base + 2048 // also same set
+	// With 2 ways, a and b fit; touching a again makes b the LRU victim
+	// when d is inserted.
+	c.access(a >> c.lineBits)
+	c.access(b >> c.lineBits)
+	c.access(a >> c.lineBits) // refresh a
+	c.access(d >> c.lineBits) // evicts b
+	if c.access(a>>c.lineBits) != false {
+		t.Error("a should still be resident")
+	}
+	if c.access(b>>c.lineBits) != true {
+		t.Error("b should have been the LRU victim")
+	}
+}
+
+func TestCacheFullyAssociativeWorkingSet(t *testing.T) {
+	c := newTestCache(32*64, 64, 0) // 32 lines, fully associative
+	// Warm a working set of exactly 32 lines, then re-scan: zero misses.
+	for i := 0; i < 32; i++ {
+		c.access(uint64(0x100000+i*64) >> c.lineBits)
+	}
+	before := c.misses
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 32; i++ {
+			if c.access(uint64(0x100000+i*64) >> c.lineBits) {
+				t.Fatalf("round %d line %d: unexpected miss", round, i)
+			}
+		}
+	}
+	if c.misses != before {
+		t.Errorf("misses grew from %d to %d on resident working set", before, c.misses)
+	}
+}
+
+func TestCacheFullyAssociativeThrashing(t *testing.T) {
+	c := newTestCache(32*64, 64, 0) // 32 lines
+	// Cyclic scan over 33 lines with true LRU must miss every time.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 33; i++ {
+			c.access(uint64(0x100000+i*64) >> c.lineBits)
+		}
+	}
+	if c.misses != 3*33 {
+		t.Errorf("cyclic thrash misses = %d, want %d", c.misses, 3*33)
+	}
+}
+
+func TestCacheFlushAndInvalidate(t *testing.T) {
+	c := newTestCache(1024, 32, 2)
+	c.access(0x100000 >> c.lineBits)
+	c.flush()
+	if c.misses != 0 || c.hits != 0 {
+		t.Error("flush should zero counters")
+	}
+	if !c.access(0x100000 >> c.lineBits) {
+		t.Error("flushed cache should miss")
+	}
+	c.invalidate()
+	if c.misses != 1 {
+		t.Error("invalidate should keep counters")
+	}
+	if !c.access(0x100000 >> c.lineBits) {
+		t.Error("invalidated cache should miss")
+	}
+}
+
+func TestCacheLastLineFastPath(t *testing.T) {
+	c := newTestCache(1024, 32, 2)
+	line := uint64(0x100000) >> c.lineBits
+	c.access(line)
+	h0 := c.hits
+	for i := 0; i < 10; i++ {
+		if c.access(line) {
+			t.Fatal("repeated same-line access missed")
+		}
+	}
+	if c.hits != h0+10 {
+		t.Errorf("hits = %d, want %d", c.hits, h0+10)
+	}
+}
+
+// Property: a fully-associative LRU cache with N lines never misses on
+// any trace whose distinct line count is ≤ N, after each line's first
+// touch (compulsory miss).
+func TestCacheCompulsoryMissesOnlyProperty(t *testing.T) {
+	f := func(seed uint8, trace []uint8) bool {
+		c := newTestCache(16*64, 64, 0) // 16 lines
+		distinct := make(map[uint64]bool)
+		misses := uint64(0)
+		for _, x := range trace {
+			line := uint64(0x100000>>c.lineBits) + uint64(x%16)
+			distinct[line] = true
+			if c.access(line) {
+				misses++
+			}
+		}
+		return misses == uint64(len(distinct))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: miss count is monotone in trace prefix and bounded by
+// accesses, for arbitrary associativity.
+func TestCacheMissBoundProperty(t *testing.T) {
+	f := func(trace []uint16, assocSel uint8) bool {
+		assoc := []int{1, 2, 4, 0}[assocSel%4]
+		c := newTestCache(64*32, 32, assoc)
+		for _, x := range trace {
+			c.access(uint64(0x100000>>c.lineBits) + uint64(x))
+		}
+		return c.misses+c.hits == uint64(len(trace)) && c.misses <= uint64(len(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

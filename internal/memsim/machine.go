@@ -1,0 +1,203 @@
+package memsim
+
+import "fmt"
+
+// CostParams holds the calibrated per-event costs of a machine, in
+// nanoseconds. The Origin2000 values are the paper's own calibration
+// (§3.4.2 footnote 4 and §3.4.3): lTLB=228ns, lL2=24ns, lMem=412ns,
+// wc=50ns, wr=24ns, w'r=240ns, wh=680ns, w'h=3600ns.
+type CostParams struct {
+	LatL2  float64 // cost of an L1 miss serviced by L2 (lL2)
+	LatMem float64 // cost of an L2 miss serviced by DRAM (lMem)
+	LatTLB float64 // cost of a TLB miss (OS trap + walk) (lTLB)
+
+	// LatMemSeq is the effective cost of an L2 miss on the line
+	// directly following the previous L2 miss: sequential misses are
+	// bandwidth-bound (DRAM burst + non-blocking caches overlap them),
+	// not latency-bound. This is why the Figure-3 plateaus sit well
+	// below iterations × lMem. Zero means "same as LatMem".
+	LatMemSeq float64
+
+	// Per-operation pure-CPU work constants used by the cost models and
+	// charged by the instrumented operators.
+	Wc     float64 // radix-cluster work per tuple per pass (wc)
+	Wr     float64 // radix-join predicate check per inner tuple (wr)
+	WrOut  float64 // radix-join result-tuple creation (w'r)
+	Wh     float64 // partitioned hash-join work per tuple (wh)
+	WhClus float64 // hash-table create/destroy cost per cluster (w'h)
+
+	// Scan experiment per-iteration CPU costs (Figure 3): reading one
+	// byte plus loop overhead.
+	WScanByte float64 // per-iteration CPU work for the stride scan
+	WScanBUN  float64 // per-iteration CPU work scanning 8-byte BUNs
+}
+
+// Machine bundles the geometry and cost calibration of one hardware
+// profile. The four 1992–1998 profiles correspond to the machines of
+// Figure 3; Origin2000 is the platform of all §3.4 experiments.
+type Machine struct {
+	Name     string
+	ClockMHz float64
+	L1       CacheSpec
+	L2       CacheSpec
+	TLB      TLBSpec
+	Cost     CostParams
+
+	// VM optionally extends the hierarchy to the virtual-memory level
+	// (§4): zero value = all data main-memory resident, no faults.
+	VM VMSpec
+}
+
+// CyclesPerNano returns the number of CPU cycles per nanosecond.
+func (m *Machine) CyclesPerNano() float64 { return m.ClockMHz / 1000 }
+
+// Validate checks the machine description for internal consistency.
+func (m *Machine) Validate() error {
+	if err := m.L1.validate(); err != nil {
+		return err
+	}
+	if err := m.L2.validate(); err != nil {
+		return err
+	}
+	if err := m.TLB.validate(); err != nil {
+		return err
+	}
+	if m.L1.LineSize > m.L2.LineSize {
+		return fmt.Errorf("memsim: %s: L1 line (%d) larger than L2 line (%d)", m.Name, m.L1.LineSize, m.L2.LineSize)
+	}
+	if m.ClockMHz <= 0 {
+		return fmt.Errorf("memsim: %s: non-positive clock %v", m.Name, m.ClockMHz)
+	}
+	if err := m.VM.validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WithVM returns a copy of the machine with main memory restricted to
+// memBytes (rounded down to whole pages) and the given page-fault
+// latency — the §4 virtual-memory setting.
+func (m Machine) WithVM(memBytes int, latFault float64) Machine {
+	m.VM = VMSpec{ResidentPages: memBytes / m.TLB.PageSize, LatFault: latFault}
+	return m
+}
+
+// Origin2000 returns the paper's experimental platform: one 250 MHz MIPS
+// R10000 with 32 KB L1 (1024 × 32 B lines), 4 MB L2 (32768 × 128 B
+// lines), 64 TLB entries and 16 KB pages (§3.4.1). Latency and work
+// constants are the paper's calibrated values.
+func Origin2000() Machine {
+	return Machine{
+		Name:     "origin2k",
+		ClockMHz: 250,
+		L1:       CacheSpec{Name: "L1", Size: 32 << 10, LineSize: 32, Assoc: 2},
+		L2:       CacheSpec{Name: "L2", Size: 4 << 20, LineSize: 128, Assoc: 2},
+		TLB:      TLBSpec{Entries: 64, PageSize: 16 << 10},
+		Cost: CostParams{
+			LatL2:     24,
+			LatMem:    412,
+			LatMemSeq: 150,
+			LatTLB:    228,
+			Wc:        50,
+			Wr:        24,
+			WrOut:     240,
+			Wh:        680,
+			WhClus:    3600,
+			// §3.1: a stride-1 scan costs 4 cycles/iteration on the
+			// Origin2000 (16 ns at 250 MHz); a stride-8 BUN scan costs
+			// 10 cycles of which 4 are CPU work.
+			WScanByte: 16,
+			WScanBUN:  16,
+		},
+	}
+}
+
+// Sun450 returns the 1997 Sun Ultra-Enterprise 450 profile of Figure 3:
+// 296 MHz UltraSPARC-II, 16-byte L1 lines, 64-byte L2 lines. Latencies
+// are calibrated so the simulated curve reproduces the figure's plateau
+// (≈30 ms for 200k iterations beyond the L2 line size).
+func Sun450() Machine {
+	return Machine{
+		Name:     "sun450",
+		ClockMHz: 296,
+		L1:       CacheSpec{Name: "L1", Size: 16 << 10, LineSize: 16, Assoc: 1},
+		L2:       CacheSpec{Name: "L2", Size: 4 << 20, LineSize: 64, Assoc: 1},
+		TLB:      TLBSpec{Entries: 64, PageSize: 8 << 10},
+		Cost: CostParams{
+			LatL2: 30, LatMem: 120, LatMemSeq: 90, LatTLB: 200,
+			Wc: 60, Wr: 30, WrOut: 300, Wh: 800, WhClus: 4200,
+			WScanByte: 14, WScanBUN: 14,
+		},
+	}
+}
+
+// Ultra returns the 1995 Sun Ultra profile of Figure 3: 143 MHz
+// UltraSPARC-I, 16-byte L1 lines, 64-byte L2 lines (plateau ≈50 ms).
+func Ultra() Machine {
+	return Machine{
+		Name:     "ultra",
+		ClockMHz: 143,
+		L1:       CacheSpec{Name: "L1", Size: 16 << 10, LineSize: 16, Assoc: 1},
+		L2:       CacheSpec{Name: "L2", Size: 512 << 10, LineSize: 64, Assoc: 1},
+		TLB:      TLBSpec{Entries: 64, PageSize: 8 << 10},
+		Cost: CostParams{
+			LatL2: 42, LatMem: 180, LatMemSeq: 160, LatTLB: 300,
+			Wc: 90, Wr: 45, WrOut: 450, Wh: 1200, WhClus: 6300,
+			WScanByte: 28, WScanBUN: 28,
+		},
+	}
+}
+
+// SunLX returns the 1992 Sun LX profile of Figure 3: 50 MHz microSPARC
+// with a single off-chip cache of 16-byte lines (modelled as identical
+// L1 and L2 so the single knee of the figure emerges; plateau ≈70 ms,
+// reached already at stride 16).
+func SunLX() Machine {
+	return Machine{
+		Name:     "sunLX",
+		ClockMHz: 50,
+		L1:       CacheSpec{Name: "L1", Size: 64 << 10, LineSize: 16, Assoc: 1},
+		L2:       CacheSpec{Name: "L2", Size: 64 << 10, LineSize: 16, Assoc: 1},
+		TLB:      TLBSpec{Entries: 32, PageSize: 4 << 10},
+		Cost: CostParams{
+			LatL2: 0, LatMem: 190, LatMemSeq: 175, LatTLB: 400,
+			Wc: 260, Wr: 130, WrOut: 1300, Wh: 3400, WhClus: 18000,
+			WScanByte: 160, WScanBUN: 160,
+		},
+	}
+}
+
+// Modern returns an extension profile loosely shaped like a 2020s
+// desktop CPU (not in the paper): much faster CPU work, far larger
+// caches, and an even wider CPU/memory gap. Used by the extension
+// benches to show that the paper's conclusions have only sharpened.
+func Modern() Machine {
+	return Machine{
+		Name:     "modern",
+		ClockMHz: 4000,
+		L1:       CacheSpec{Name: "L1", Size: 48 << 10, LineSize: 64, Assoc: 12},
+		L2:       CacheSpec{Name: "L2", Size: 32 << 20, LineSize: 64, Assoc: 16},
+		TLB:      TLBSpec{Entries: 1536, PageSize: 4 << 10},
+		Cost: CostParams{
+			LatL2: 10, LatMem: 90, LatMemSeq: 25, LatTLB: 25,
+			Wc: 2, Wr: 1, WrOut: 8, Wh: 20, WhClus: 150,
+			WScanByte: 0.75, WScanBUN: 0.75,
+		},
+	}
+}
+
+// Machines returns the Figure-3 machine set in the order plotted
+// (newest first, matching the figure legend).
+func Machines() []Machine {
+	return []Machine{Origin2000(), Sun450(), Ultra(), SunLX()}
+}
+
+// MachineByName resolves a profile by its Figure-3 legend name.
+func MachineByName(name string) (Machine, error) {
+	for _, m := range append(Machines(), Modern()) {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Machine{}, fmt.Errorf("memsim: unknown machine %q", name)
+}

@@ -1,0 +1,243 @@
+package memsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMachineProfilesValid(t *testing.T) {
+	for _, m := range append(Machines(), Modern()) {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestOrigin2000Geometry(t *testing.T) {
+	m := Origin2000()
+	// §3.4.1: 32KB L1 of 1024 × 32B lines; 4MB L2 of 32768 × 128B lines;
+	// 64 TLB entries, 16KB pages.
+	if m.L1.Lines() != 1024 || m.L1.LineSize != 32 {
+		t.Errorf("L1 geometry = %d lines × %dB", m.L1.Lines(), m.L1.LineSize)
+	}
+	if m.L2.Lines() != 32768 || m.L2.LineSize != 128 {
+		t.Errorf("L2 geometry = %d lines × %dB", m.L2.Lines(), m.L2.LineSize)
+	}
+	if m.TLB.Entries != 64 || m.TLB.PageSize != 16<<10 {
+		t.Errorf("TLB = %d × %dB", m.TLB.Entries, m.TLB.PageSize)
+	}
+	// Paper's calibration: lTLB=228ns, lL2=24ns, lMem=412ns, wc=50ns.
+	c := m.Cost
+	if c.LatTLB != 228 || c.LatL2 != 24 || c.LatMem != 412 || c.Wc != 50 {
+		t.Errorf("calibration = %+v", c)
+	}
+}
+
+func TestMachineByName(t *testing.T) {
+	for _, name := range []string{"origin2k", "sun450", "ultra", "sunLX", "modern"} {
+		m, err := MachineByName(name)
+		if err != nil {
+			t.Errorf("MachineByName(%q): %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("MachineByName(%q).Name = %q", name, m.Name)
+		}
+	}
+	if _, err := MachineByName("pdp11"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestSimAllocPageAligned(t *testing.T) {
+	s := MustNew(Origin2000())
+	page := uint64(s.Machine().TLB.PageSize)
+	var prevEnd uint64
+	for _, n := range []int{1, 100, 16384, 16385, 0, 7} {
+		base := s.Alloc(n)
+		if base%page != 0 {
+			t.Errorf("Alloc(%d) base %#x not page aligned", n, base)
+		}
+		if base < prevEnd {
+			t.Errorf("Alloc(%d) base %#x overlaps previous end %#x", n, base, prevEnd)
+		}
+		prevEnd = base + uint64(n)
+	}
+}
+
+func TestSimSequentialScanMissRates(t *testing.T) {
+	m := Origin2000()
+	s := MustNew(m)
+	n := 1 << 20 // 1 MB
+	base := s.Alloc(n)
+	for i := 0; i < n; i += 8 {
+		s.Read(base+uint64(i), 8)
+	}
+	st := s.Stats()
+	wantL1 := uint64(n / m.L1.LineSize)
+	wantL2 := uint64(n / m.L2.LineSize)
+	wantTLB := uint64(n / m.TLB.PageSize)
+	if st.L1Misses != wantL1 {
+		t.Errorf("L1 misses = %d, want %d", st.L1Misses, wantL1)
+	}
+	if st.L2Misses != wantL2 {
+		t.Errorf("L2 misses = %d, want %d", st.L2Misses, wantL2)
+	}
+	if st.TLBMisses != wantTLB {
+		t.Errorf("TLB misses = %d, want %d", st.TLBMisses, wantTLB)
+	}
+	if st.Accesses != uint64(n/8) {
+		t.Errorf("accesses = %d, want %d", st.Accesses, n/8)
+	}
+}
+
+func TestSimStallAccounting(t *testing.T) {
+	m := Origin2000()
+	s := MustNew(m)
+	base := s.Alloc(4096)
+	s.Read(base, 1) // cold: TLB + L1 + L2 all miss
+	st := s.Stats()
+	want := m.Cost.LatTLB + m.Cost.LatL2 + m.Cost.LatMem
+	if st.StallNanos != want {
+		t.Errorf("cold-read stall = %v, want %v", st.StallNanos, want)
+	}
+	s.Read(base, 1) // warm: all hit
+	if got := s.Stats().StallNanos; got != want {
+		t.Errorf("warm read added stall: %v", got-want)
+	}
+	s.AddCPU(100, 50)
+	if got := s.Stats().CPUNanos; got != 5000 {
+		t.Errorf("AddCPU accumulated %v, want 5000", got)
+	}
+	if got := s.Stats().ElapsedNanos(); got != want+5000 {
+		t.Errorf("ElapsedNanos = %v, want %v", got, want+5000)
+	}
+}
+
+func TestSimWriteAllocate(t *testing.T) {
+	s := MustNew(Origin2000())
+	base := s.Alloc(4096)
+	s.Write(base, 8)
+	st0 := s.Stats()
+	if st0.L1Misses != 1 {
+		t.Fatalf("write miss count = %d, want 1", st0.L1Misses)
+	}
+	s.Read(base, 8) // same line: must hit after write-allocate
+	if got := s.Stats().L1Misses; got != 1 {
+		t.Errorf("read after write missed (L1 misses = %d)", got)
+	}
+}
+
+func TestSimStraddlingAccessTouchesTwoLines(t *testing.T) {
+	m := Origin2000()
+	s := MustNew(m)
+	base := s.Alloc(4096)
+	// An 8-byte read straddling an L1 line boundary touches two lines.
+	s.Read(base+uint64(m.L1.LineSize)-4, 8)
+	if got := s.Stats().L1Misses; got != 2 {
+		t.Errorf("straddling read L1 misses = %d, want 2", got)
+	}
+}
+
+func TestSimResetAndInvalidate(t *testing.T) {
+	s := MustNew(Origin2000())
+	base := s.Alloc(4096)
+	s.Read(base, 8)
+	s.InvalidateCaches()
+	s.Read(base, 8) // cold again
+	if got := s.Stats().L1Misses; got != 2 {
+		t.Errorf("L1 misses after invalidate = %d, want 2", got)
+	}
+	s.Reset()
+	if s.Stats() != (Stats{}) {
+		t.Error("Reset did not clear stats")
+	}
+	if !s.L1Resident(base) == true { // flushed
+		t.Log("note: reset flushes contents") // informational
+	}
+}
+
+func TestSimBudget(t *testing.T) {
+	s := MustNew(Origin2000())
+	base := s.Alloc(4096)
+	s.Budget = 10
+	for i := 0; i < 10; i++ {
+		s.Read(base, 8)
+	}
+	if !s.Exhausted() {
+		t.Error("budget of 10 not exhausted after 10 accesses")
+	}
+	s.Budget = 0
+	if s.Exhausted() {
+		t.Error("zero budget must mean unlimited")
+	}
+}
+
+func TestSimResidencyProbesDoNotCount(t *testing.T) {
+	s := MustNew(Origin2000())
+	base := s.Alloc(4096)
+	s.Read(base, 8)
+	st := s.Stats()
+	if !s.L1Resident(base) || !s.L2Resident(base) {
+		t.Error("line should be resident after read")
+	}
+	if s.Stats() != st {
+		t.Error("residency probes changed counters")
+	}
+}
+
+func TestStatsArithmeticAndString(t *testing.T) {
+	a := Stats{Accesses: 10, L1Misses: 5, L2Misses: 3, TLBMisses: 1, CPUNanos: 100, StallNanos: 50}
+	b := Stats{Accesses: 4, L1Misses: 2, L2Misses: 1, TLBMisses: 1, CPUNanos: 40, StallNanos: 20}
+	d := a.Sub(b)
+	if d.Accesses != 6 || d.L1Misses != 3 || d.L2Misses != 2 || d.TLBMisses != 0 {
+		t.Errorf("Sub = %+v", d)
+	}
+	sum := b.Add(d)
+	if sum != a {
+		t.Errorf("Add(Sub) != original: %+v vs %+v", sum, a)
+	}
+	if !strings.Contains(a.String(), "L1miss=5") {
+		t.Errorf("String() = %q", a.String())
+	}
+	if a.ElapsedMillis() != (100+50)/1e6 {
+		t.Errorf("ElapsedMillis = %v", a.ElapsedMillis())
+	}
+}
+
+func TestNewRejectsInvalidMachine(t *testing.T) {
+	m := Origin2000()
+	m.L1.LineSize = 33
+	if _, err := New(m); err == nil {
+		t.Error("invalid machine accepted")
+	}
+	m2 := Origin2000()
+	m2.L1.LineSize = 256 // larger than L2 line
+	if _, err := New(m2); err == nil {
+		t.Error("L1 line > L2 line accepted")
+	}
+	m3 := Origin2000()
+	m3.ClockMHz = 0
+	if _, err := New(m3); err == nil {
+		t.Error("zero clock accepted")
+	}
+}
+
+func TestRandomAccessThrashesTLB(t *testing.T) {
+	m := Origin2000()
+	s := MustNew(m)
+	span := m.TLB.Span() * 4 // 4× the TLB reach
+	base := s.Alloc(span)
+	// Strided access hitting a new page every time, cycling far beyond
+	// the TLB: every access must be a TLB miss after warmup.
+	st0 := s.Stats()
+	pages := span / m.TLB.PageSize
+	for round := 0; round < 2; round++ {
+		for p := 0; p < pages; p++ {
+			s.Read(base+uint64(p*m.TLB.PageSize), 8)
+		}
+	}
+	d := s.Stats().Sub(st0)
+	if d.TLBMisses != uint64(2*pages) {
+		t.Errorf("TLB misses = %d, want %d", d.TLBMisses, 2*pages)
+	}
+}

@@ -1,0 +1,97 @@
+package memsim
+
+import "fmt"
+
+// TLBSpec describes a translation lookaside buffer.
+type TLBSpec struct {
+	Entries  int // number of translations held (fully associative)
+	PageSize int // bytes per virtual memory page (power of two)
+}
+
+// Span returns the number of bytes covered by a full TLB, written
+// ||TLB|| in the paper.
+func (t TLBSpec) Span() int { return t.Entries * t.PageSize }
+
+func (t TLBSpec) validate() error {
+	switch {
+	case t.Entries <= 0:
+		return fmt.Errorf("memsim: TLB: non-positive entry count %d", t.Entries)
+	case t.PageSize <= 0 || t.PageSize&(t.PageSize-1) != 0:
+		return fmt.Errorf("memsim: TLB: page size %d is not a positive power of two", t.PageSize)
+	}
+	return nil
+}
+
+// tlb is a fully-associative LRU translation buffer. Miss handling on
+// the paper's machines traps to the OS, so a TLB miss can cost more
+// than a memory access; the Sim charges lTLB per miss.
+type tlb struct {
+	pageBits uint
+	pages    []uint64
+	stamps   []uint64
+	clock    uint64
+	lastPage uint64
+
+	hits   uint64
+	misses uint64
+}
+
+func newTLB(spec TLBSpec) *tlb {
+	t := &tlb{
+		pages:    make([]uint64, spec.Entries),
+		stamps:   make([]uint64, spec.Entries),
+		lastPage: ^uint64(0),
+	}
+	for pb := spec.PageSize; pb > 1; pb >>= 1 {
+		t.pageBits++
+	}
+	return t
+}
+
+// access translates the page containing pageAddr (addr >> pageBits) and
+// reports whether the translation missed.
+func (t *tlb) access(pageAddr uint64) bool {
+	if pageAddr == t.lastPage {
+		t.hits++
+		return false
+	}
+	t.clock++
+	victim := 0
+	oldest := ^uint64(0)
+	for i, p := range t.pages {
+		if t.stamps[i] != 0 && p == pageAddr {
+			t.stamps[i] = t.clock
+			t.hits++
+			t.lastPage = pageAddr
+			return false
+		}
+		if t.stamps[i] < oldest {
+			oldest = t.stamps[i]
+			victim = i
+		}
+	}
+	t.pages[victim] = pageAddr
+	t.stamps[victim] = t.clock
+	t.misses++
+	t.lastPage = pageAddr
+	return true
+}
+
+func (t *tlb) flush() {
+	for i := range t.pages {
+		t.pages[i] = 0
+		t.stamps[i] = 0
+	}
+	t.clock = 0
+	t.lastPage = ^uint64(0)
+	t.hits = 0
+	t.misses = 0
+}
+
+func (t *tlb) invalidate() {
+	for i := range t.pages {
+		t.pages[i] = 0
+		t.stamps[i] = 0
+	}
+	t.lastPage = ^uint64(0)
+}

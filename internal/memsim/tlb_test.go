@@ -1,0 +1,105 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBSpec(t *testing.T) {
+	spec := TLBSpec{Entries: 64, PageSize: 16 << 10}
+	if got := spec.Span(); got != 64*16<<10 {
+		t.Errorf("Span() = %d, want %d", got, 64*16<<10)
+	}
+	if err := spec.validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (TLBSpec{Entries: 0, PageSize: 4096}).validate(); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if err := (TLBSpec{Entries: 8, PageSize: 3000}).validate(); err == nil {
+		t.Error("non-power-of-two page accepted")
+	}
+}
+
+func TestTLBSequentialPages(t *testing.T) {
+	tb := newTLB(TLBSpec{Entries: 4, PageSize: 4096})
+	misses := 0
+	// Walk 16 pages byte-sequentially: exactly 16 misses.
+	for addr := uint64(1 << 20); addr < (1<<20)+16*4096; addr += 512 {
+		if tb.access(addr >> tb.pageBits) {
+			misses++
+		}
+	}
+	if misses != 16 {
+		t.Errorf("sequential page walk misses = %d, want 16", misses)
+	}
+}
+
+func TestTLBWorkingSetFits(t *testing.T) {
+	tb := newTLB(TLBSpec{Entries: 8, PageSize: 4096})
+	for i := 0; i < 8; i++ {
+		tb.access(uint64(100 + i))
+	}
+	before := tb.misses
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 8; i++ {
+			if tb.access(uint64(100 + i)) {
+				t.Fatalf("page %d missed with fitting working set", i)
+			}
+		}
+	}
+	if tb.misses != before {
+		t.Error("resident pages should not miss")
+	}
+}
+
+func TestTLBThrash(t *testing.T) {
+	tb := newTLB(TLBSpec{Entries: 8, PageSize: 4096})
+	// Cyclic access to entries+1 pages with LRU: always miss.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 9; i++ {
+			tb.access(uint64(100 + i))
+		}
+	}
+	if tb.misses != 27 {
+		t.Errorf("thrash misses = %d, want 27", tb.misses)
+	}
+}
+
+func TestTLBFlushInvalidate(t *testing.T) {
+	tb := newTLB(TLBSpec{Entries: 4, PageSize: 4096})
+	tb.access(5)
+	tb.flush()
+	if tb.misses != 0 {
+		t.Error("flush should clear counters")
+	}
+	if !tb.access(5) {
+		t.Error("flushed TLB should miss")
+	}
+	tb.invalidate()
+	if tb.misses != 1 {
+		t.Error("invalidate should preserve counters")
+	}
+	if !tb.access(5) {
+		t.Error("invalidated TLB should miss")
+	}
+}
+
+// Property: hits + misses == accesses and a working set of ≤ Entries
+// pages incurs only compulsory misses.
+func TestTLBCompulsoryProperty(t *testing.T) {
+	f := func(trace []uint8) bool {
+		tb := newTLB(TLBSpec{Entries: 16, PageSize: 4096})
+		distinct := make(map[uint64]bool)
+		for _, x := range trace {
+			p := uint64(x % 16)
+			distinct[p] = true
+			tb.access(p)
+		}
+		return tb.misses == uint64(len(distinct)) &&
+			tb.hits+tb.misses == uint64(len(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

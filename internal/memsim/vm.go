@@ -1,0 +1,130 @@
+package memsim
+
+import "fmt"
+
+// VMSpec extends the memory hierarchy downward to the virtual-memory
+// level of Figure 2: the paper treats disk-resident data as "memory
+// with a large granularity" (§4 — Monet does I/O by manipulating
+// virtual-memory mappings). When ResidentPages is non-zero, the
+// simulator keeps an LRU set of resident pages and charges LatFault
+// for every page fault, so algorithms whose access pattern is tuned
+// for the cache levels can be shown to "also exhibit good performance
+// on the lower levels".
+type VMSpec struct {
+	ResidentPages int     // main-memory capacity in pages; 0 disables VM modelling
+	LatFault      float64 // page-fault service time in ns (1998 disk ≈ 6e6)
+}
+
+// Enabled reports whether VM modelling is active.
+func (v VMSpec) Enabled() bool { return v.ResidentPages > 0 }
+
+func (v VMSpec) validate() error {
+	if v.ResidentPages < 0 {
+		return fmt.Errorf("memsim: VM: negative resident page count %d", v.ResidentPages)
+	}
+	if v.ResidentPages > 0 && v.LatFault <= 0 {
+		return fmt.Errorf("memsim: VM: fault latency must be positive when enabled")
+	}
+	return nil
+}
+
+// vmLRU is an O(1) LRU over resident pages: a hash map into an
+// intrusive doubly-linked list of preallocated nodes.
+type vmLRU struct {
+	cap      int
+	pos      map[uint64]int32 // page → node index
+	pages    []uint64
+	prev     []int32
+	next     []int32
+	head     int32 // most recently used
+	tail     int32 // least recently used
+	used     int
+	lastPage uint64
+
+	faults uint64
+}
+
+func newVMLRU(capacity int) *vmLRU {
+	v := &vmLRU{
+		cap:      capacity,
+		pos:      make(map[uint64]int32, capacity),
+		pages:    make([]uint64, capacity),
+		prev:     make([]int32, capacity),
+		next:     make([]int32, capacity),
+		head:     -1,
+		tail:     -1,
+		lastPage: ^uint64(0),
+	}
+	return v
+}
+
+// unlink removes node i from the list.
+func (v *vmLRU) unlink(i int32) {
+	p, n := v.prev[i], v.next[i]
+	if p >= 0 {
+		v.next[p] = n
+	} else {
+		v.head = n
+	}
+	if n >= 0 {
+		v.prev[n] = p
+	} else {
+		v.tail = p
+	}
+}
+
+// pushFront makes node i the most recently used.
+func (v *vmLRU) pushFront(i int32) {
+	v.prev[i] = -1
+	v.next[i] = v.head
+	if v.head >= 0 {
+		v.prev[v.head] = i
+	}
+	v.head = i
+	if v.tail < 0 {
+		v.tail = i
+	}
+}
+
+// access touches a page and reports whether it faulted.
+func (v *vmLRU) access(page uint64) bool {
+	if page == v.lastPage {
+		return false
+	}
+	v.lastPage = page
+	if i, ok := v.pos[page]; ok {
+		if v.head != i {
+			v.unlink(i)
+			v.pushFront(i)
+		}
+		return false
+	}
+	v.faults++
+	var i int32
+	if v.used < v.cap {
+		i = int32(v.used)
+		v.used++
+	} else {
+		i = v.tail
+		v.unlink(i)
+		delete(v.pos, v.pages[i])
+	}
+	v.pages[i] = page
+	v.pos[page] = i
+	v.pushFront(i)
+	return true
+}
+
+func (v *vmLRU) flush() {
+	v.pos = make(map[uint64]int32, v.cap)
+	v.head, v.tail = -1, -1
+	v.used = 0
+	v.lastPage = ^uint64(0)
+	v.faults = 0
+}
+
+func (v *vmLRU) invalidate() {
+	f := v.faults
+	v.flush()
+	v.faults = f
+}

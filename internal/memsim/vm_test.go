@@ -1,0 +1,149 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVMSpecValidate(t *testing.T) {
+	if (VMSpec{}).Enabled() {
+		t.Error("zero VM spec should be disabled")
+	}
+	if err := (VMSpec{ResidentPages: -1}).validate(); err == nil {
+		t.Error("negative pages accepted")
+	}
+	if err := (VMSpec{ResidentPages: 10}).validate(); err == nil {
+		t.Error("enabled VM without fault latency accepted")
+	}
+	if err := (VMSpec{ResidentPages: 10, LatFault: 1e6}).validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithVM(t *testing.T) {
+	m := Origin2000().WithVM(64<<20, 6e6)
+	if m.VM.ResidentPages != (64<<20)/m.TLB.PageSize {
+		t.Errorf("resident pages = %d", m.VM.ResidentPages)
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVMLRUWorkingSet(t *testing.T) {
+	v := newVMLRU(4)
+	for p := uint64(0); p < 4; p++ {
+		if !v.access(100 + p) {
+			t.Fatalf("first touch of page %d did not fault", p)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for p := uint64(0); p < 4; p++ {
+			if v.access(100 + p) {
+				t.Fatalf("resident page %d faulted", p)
+			}
+		}
+	}
+	if v.faults != 4 {
+		t.Errorf("faults = %d, want 4", v.faults)
+	}
+}
+
+func TestVMLRUEviction(t *testing.T) {
+	v := newVMLRU(2)
+	v.access(1)
+	v.access(2)
+	v.access(1) // refresh 1: LRU victim is now 2
+	v.access(3) // evicts 2
+	if v.access(1) {
+		t.Error("page 1 should be resident")
+	}
+	if !v.access(2) {
+		t.Error("page 2 should have been evicted")
+	}
+}
+
+func TestVMLRUThrash(t *testing.T) {
+	v := newVMLRU(4)
+	for round := 0; round < 3; round++ {
+		for p := uint64(0); p < 5; p++ {
+			v.access(p)
+		}
+	}
+	// Cyclic over cap+1 with true LRU: every access faults.
+	if v.faults != 15 {
+		t.Errorf("thrash faults = %d, want 15", v.faults)
+	}
+}
+
+func TestSimPageFaultAccounting(t *testing.T) {
+	m := Origin2000().WithVM(4*16<<10, 6e6) // 4 resident pages
+	s := MustNew(m)
+	span := 16 * m.TLB.PageSize
+	base := s.Alloc(span)
+	// Sequential scan over 16 pages: 16 compulsory faults.
+	for off := 0; off < span; off += 512 {
+		s.Read(base+uint64(off), 8)
+	}
+	st := s.Stats()
+	if st.PageFaults != 16 {
+		t.Errorf("faults = %d, want 16", st.PageFaults)
+	}
+	if st.StallNanos < 16*6e6 {
+		t.Errorf("fault stall %.0f below 16 × latFault", st.StallNanos)
+	}
+	// Second sequential scan: everything evicted by the first pass (16
+	// pages through 4 frames) — faults again.
+	before := s.Stats()
+	for off := 0; off < span; off += 512 {
+		s.Read(base+uint64(off), 8)
+	}
+	if d := s.Stats().Sub(before); d.PageFaults != 16 {
+		t.Errorf("second scan faults = %d, want 16", d.PageFaults)
+	}
+}
+
+func TestSimNoVMNoFaults(t *testing.T) {
+	s := MustNew(Origin2000())
+	base := s.Alloc(1 << 20)
+	for off := 0; off < 1<<20; off += 4096 {
+		s.Read(base+uint64(off), 8)
+	}
+	if s.Stats().PageFaults != 0 {
+		t.Error("faults counted with VM disabled")
+	}
+}
+
+func TestSimVMResetAndInvalidate(t *testing.T) {
+	m := Origin2000().WithVM(2*16<<10, 1e6)
+	s := MustNew(m)
+	base := s.Alloc(1 << 20)
+	s.Read(base, 8)
+	s.InvalidateCaches()
+	s.Read(base, 8) // faults again after invalidate, counter kept
+	if s.Stats().PageFaults != 2 {
+		t.Errorf("faults after invalidate = %d, want 2", s.Stats().PageFaults)
+	}
+	s.Reset()
+	if s.Stats().PageFaults != 0 {
+		t.Error("Reset kept fault counter")
+	}
+}
+
+// Property: the VM LRU faults exactly once per distinct page when the
+// working set fits capacity.
+func TestVMLRUCompulsoryProperty(t *testing.T) {
+	f := func(trace []uint8) bool {
+		v := newVMLRU(16)
+		distinct := make(map[uint64]bool)
+		for _, x := range trace {
+			p := uint64(x % 16)
+			distinct[p] = true
+			v.access(p)
+		}
+		return v.faults == uint64(len(distinct))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

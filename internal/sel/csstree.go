@@ -1,0 +1,167 @@
+package sel
+
+import (
+	"monetlite/internal/bat"
+	"monetlite/internal/memsim"
+)
+
+// CSSTree is the cache-line-conscious static B+-tree of the §3.2
+// discussion ([Ron98]: "a B-tree with a block-size equal to the cache
+// line size is optimal"): internal nodes hold exactly one cache line
+// of separator keys, children are found by arithmetic instead of
+// pointers, and the leaves are the sorted column itself. Each level
+// of a descent therefore costs exactly one cache-line touch.
+type CSSTree struct {
+	col *Column
+	m   int // keys per node = line size / 4
+
+	// levels[0] is the sorted leaf keys; levels[k>0] holds, for each
+	// node group of level k-1, its last key (the separators).
+	levels [][]int32
+	oids   []bat.Oid // leaf OIDs parallel to levels[0]
+
+	bases    []uint64 // simulated base per level
+	oidsBase uint64
+}
+
+// BuildCSSTree constructs the tree with node size equal to the
+// machine's L1 cache line (the Rönström design point). With a nil sim
+// the Origin2000's 32-byte line (8 keys) is used.
+func BuildCSSTree(sim *memsim.Sim, c *Column) *CSSTree {
+	line := 32
+	if sim != nil {
+		line = sim.Machine().L1.LineSize
+	}
+	m := line / 4
+	if m < 2 {
+		m = 2
+	}
+	es := sortedEntries(c)
+	leaf := make([]int32, len(es))
+	oids := make([]bat.Oid, len(es))
+	for i, e := range es {
+		leaf[i] = e.val
+		oids[i] = e.oid
+	}
+	t := &CSSTree{col: c, m: m, levels: [][]int32{leaf}, oids: oids}
+	for len(t.levels[len(t.levels)-1]) > m {
+		below := t.levels[len(t.levels)-1]
+		var seps []int32
+		for lo := 0; lo < len(below); lo += m {
+			hi := lo + m
+			if hi > len(below) {
+				hi = len(below)
+			}
+			seps = append(seps, below[hi-1])
+		}
+		t.levels = append(t.levels, seps)
+	}
+	c.Bind(sim)
+	if sim != nil {
+		t.bases = make([]uint64, len(t.levels))
+		for i, lv := range t.levels {
+			t.bases[i] = sim.Alloc(4 * len(lv))
+			for j := range lv {
+				sim.Write(t.bases[i]+uint64(j)*4, 4)
+			}
+		}
+		t.oidsBase = sim.Alloc(4 * len(oids))
+		for j := range oids {
+			sim.Write(t.oidsBase+uint64(j)*4, 4)
+		}
+	}
+	return t
+}
+
+// touchNode mirrors reading one node (one cache line) of a level,
+// charging the in-node search work.
+func (t *CSSTree) touchNode(sim *memsim.Sim, level, node int) {
+	if sim == nil {
+		return
+	}
+	lo := node * t.m
+	hi := lo + t.m
+	if hi > len(t.levels[level]) {
+		hi = len(t.levels[level])
+	}
+	if lo < hi {
+		sim.Read(t.bases[level]+uint64(lo)*4, 4*(hi-lo))
+		sim.AddCPU(hi-lo, sim.Machine().Cost.WScanBUN/4)
+	}
+}
+
+// lowerBound descends to the index of the first leaf key ≥ key.
+func (t *CSSTree) lowerBound(sim *memsim.Sim, key int32) int {
+	node := 0
+	for level := len(t.levels) - 1; level > 0; level-- {
+		lv := t.levels[level]
+		lo := node * t.m
+		hi := lo + t.m
+		if hi > len(lv) {
+			hi = len(lv)
+		}
+		t.touchNode(sim, level, node)
+		p := lo
+		for p < hi && lv[p] < key {
+			p++
+		}
+		if p == hi { // key beyond every separator: rightmost child
+			p = hi - 1
+		}
+		node = p
+	}
+	// Leaf node scan.
+	leaf := t.levels[0]
+	lo := node * t.m
+	hi := lo + t.m
+	if hi > len(leaf) {
+		hi = len(leaf)
+	}
+	t.touchNode(sim, 0, node)
+	p := lo
+	for p < hi && leaf[p] < key {
+		p++
+	}
+	return p
+}
+
+// Lookup returns the OIDs of all leaf entries equal to key.
+func (t *CSSTree) Lookup(sim *memsim.Sim, key int32) []bat.Oid {
+	if len(t.levels[0]) == 0 {
+		return nil
+	}
+	var out []bat.Oid
+	leaf := t.levels[0]
+	for i := t.lowerBound(sim, key); i < len(leaf) && leaf[i] == key; i++ {
+		if sim != nil {
+			sim.Read(t.bases[0]+uint64(i)*4, 4)
+			sim.Read(t.oidsBase+uint64(i)*4, 4)
+			sim.AddCPU(1, sim.Machine().Cost.WScanBUN/4)
+		}
+		out = append(out, t.oids[i])
+	}
+	return out
+}
+
+// RangeSelect returns the OIDs of all values in [lo, hi]: one descent
+// plus a sequential leaf scan (the cache-friendly part of the design).
+func (t *CSSTree) RangeSelect(sim *memsim.Sim, lo, hi int32) []bat.Oid {
+	if len(t.levels[0]) == 0 {
+		return nil
+	}
+	var out []bat.Oid
+	leaf := t.levels[0]
+	for i := t.lowerBound(sim, lo); i < len(leaf) && leaf[i] <= hi; i++ {
+		if sim != nil {
+			sim.Read(t.bases[0]+uint64(i)*4, 4)
+			sim.Read(t.oidsBase+uint64(i)*4, 4)
+			sim.AddCPU(1, sim.Machine().Cost.WScanBUN/4)
+		}
+		out = append(out, t.oids[i])
+	}
+	return out
+}
+
+// Height returns the number of levels (diagnostics: a descent touches
+// exactly Height cache lines).
+func (t *CSSTree) Height() int { return len(t.levels) }

@@ -1,0 +1,204 @@
+// Package sel implements the selection access paths discussed in §3.2
+// of the paper: the scan-select (optimal data locality, best for low
+// selectivity), the bucket-chained hash index and the T-tree of Lehman
+// and Carey [LC86] (both with random access to the entire relation),
+// and the cache-line-sized B-tree that Rönström [Ron98] — and the
+// paper's own findings on cache-miss impact — favour for point and
+// high-selectivity queries.
+//
+// All structures select over a 4-byte integer column whose OIDs are
+// positional (a void head), and support instrumented runs through a
+// memsim.Sim.
+package sel
+
+import (
+	"fmt"
+	"sort"
+
+	"monetlite/internal/bat"
+	"monetlite/internal/memsim"
+)
+
+// Column is the selection input: a dense 4-byte integer column with a
+// void (positional) head, exactly a decomposed BAT of Figure 4.
+type Column struct {
+	Vals []int32
+	base uint64
+}
+
+// NewColumn wraps values as a selection column.
+func NewColumn(vals []int32) *Column { return &Column{Vals: vals} }
+
+// Bind allocates simulated address space for the column.
+func (c *Column) Bind(sim *memsim.Sim) {
+	if sim != nil && c.base == 0 {
+		c.base = sim.Alloc(4 * len(c.Vals))
+	}
+}
+
+// Len returns the column cardinality.
+func (c *Column) Len() int { return len(c.Vals) }
+
+func (c *Column) touch(sim *memsim.Sim, i int) {
+	if sim != nil {
+		sim.Read(c.base+uint64(i)*4, 4)
+	}
+}
+
+// resultSink collects qualifying OIDs, mirroring result writes.
+type resultSink struct {
+	sim  *memsim.Sim
+	oids []bat.Oid
+	base uint64
+	cap  int
+}
+
+func newResultSink(sim *memsim.Sim, expect int) *resultSink {
+	s := &resultSink{sim: sim, oids: make([]bat.Oid, 0, expect)}
+	if sim != nil {
+		s.cap = expect
+		s.base = sim.Alloc(4 * expect)
+	}
+	return s
+}
+
+func (s *resultSink) add(o bat.Oid) {
+	if s.sim != nil && len(s.oids) < s.cap {
+		s.sim.Write(s.base+uint64(len(s.oids))*4, 4)
+	}
+	s.oids = append(s.oids, o)
+}
+
+// ScanSelect returns the OIDs of all values in [lo, hi] by scanning
+// the column — the §3.2 recommendation when selectivity is low, since
+// a scan has optimal data locality.
+func ScanSelect(sim *memsim.Sim, c *Column, lo, hi int32) []bat.Oid {
+	c.Bind(sim)
+	sink := newResultSink(sim, len(c.Vals))
+	for i, v := range c.Vals {
+		c.touch(sim, i)
+		if v >= lo && v <= hi {
+			sink.add(bat.Oid(i))
+		}
+	}
+	if sim != nil {
+		sim.AddCPU(len(c.Vals), sim.Machine().Cost.WScanBUN/4)
+	}
+	return sink.oids
+}
+
+// ---------------------------------------------------------------------
+// Bucket-chained hash index (equality only).
+
+// HashIndex accelerates equality selections with a bucket-chained hash
+// table over the column: a lookup walks one chain, but each chain hop
+// is a random access into the relation — the cache-hostile pattern
+// §3.2 warns about for large relations.
+type HashIndex struct {
+	col  *Column
+	mask uint32
+	head []int32
+	next []int32
+
+	headBase uint64
+	nextBase uint64
+}
+
+// BuildHashIndex creates the index with a mean chain length of ≈4.
+func BuildHashIndex(sim *memsim.Sim, c *Column) *HashIndex {
+	buckets := 1
+	for buckets*4 < len(c.Vals) {
+		buckets <<= 1
+	}
+	ix := &HashIndex{
+		col:  c,
+		mask: uint32(buckets - 1),
+		head: make([]int32, buckets),
+		next: make([]int32, len(c.Vals)),
+	}
+	c.Bind(sim)
+	if sim != nil {
+		ix.headBase = sim.Alloc(4 * buckets)
+		ix.nextBase = sim.Alloc(4 * len(c.Vals))
+	}
+	for i := range ix.head {
+		ix.head[i] = -1
+		if sim != nil {
+			sim.Write(ix.headBase+uint64(i)*4, 4)
+		}
+	}
+	for i, v := range c.Vals {
+		c.touch(sim, i)
+		h := uint32(v) & ix.mask
+		if sim != nil {
+			sim.Read(ix.headBase+uint64(h)*4, 4)
+			sim.Write(ix.nextBase+uint64(i)*4, 4)
+			sim.Write(ix.headBase+uint64(h)*4, 4)
+		}
+		ix.next[i] = ix.head[h]
+		ix.head[h] = int32(i)
+	}
+	return ix
+}
+
+// Lookup returns the OIDs of all values equal to key.
+func (ix *HashIndex) Lookup(sim *memsim.Sim, key int32) []bat.Oid {
+	var out []bat.Oid
+	h := uint32(key) & ix.mask
+	if sim != nil {
+		sim.Read(ix.headBase+uint64(h)*4, 4)
+		sim.AddCPU(1, sim.Machine().Cost.WScanBUN)
+	}
+	for e := ix.head[h]; e != -1; e = ix.next[e] {
+		ix.col.touch(sim, int(e))
+		if ix.col.Vals[e] == key {
+			out = append(out, bat.Oid(e))
+		}
+		if sim != nil {
+			sim.Read(ix.nextBase+uint64(e)*4, 4)
+			sim.AddCPU(1, sim.Machine().Cost.WScanBUN/4)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Shared helper: sorted (value, oid) entries for the tree indexes.
+
+type entry struct {
+	val int32
+	oid bat.Oid
+}
+
+func sortedEntries(c *Column) []entry {
+	es := make([]entry, len(c.Vals))
+	for i, v := range c.Vals {
+		es[i] = entry{val: v, oid: bat.Oid(i)}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].val != es[j].val {
+			return es[i].val < es[j].val
+		}
+		return es[i].oid < es[j].oid
+	})
+	return es
+}
+
+// Validate checks that a selection result matches a naive rescan.
+func Validate(c *Column, lo, hi int32, got []bat.Oid) error {
+	want := make(map[bat.Oid]bool)
+	for i, v := range c.Vals {
+		if v >= lo && v <= hi {
+			want[bat.Oid(i)] = true
+		}
+	}
+	if len(want) != len(got) {
+		return fmt.Errorf("sel: %d results, want %d", len(got), len(want))
+	}
+	for _, o := range got {
+		if !want[o] {
+			return fmt.Errorf("sel: spurious OID %d", o)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package sel
+
+import (
+	"monetlite/internal/bat"
+	"monetlite/internal/memsim"
+)
+
+// TTreeNodeCap is the classic T-tree node capacity of Lehman and Carey
+// [LC86]: around 32 (value, OID) entries per node. At 8 bytes per
+// entry plus the node header, a node spans several cache lines — the
+// structural reason §3.2 finds the T-tree no longer optimal on
+// deep-memory-hierarchy machines.
+const TTreeNodeCap = 32
+
+// tnode is one T-tree node: a sorted run of entries plus child links.
+// Nodes are stored in a flat arena so the simulator can address them.
+type tnode struct {
+	entries     []entry
+	left, right int32 // arena indexes, -1 if absent
+}
+
+// tnodeBytes is the simulated footprint of a node: 8 bytes per entry
+// slot plus a 16-byte header (bounds + child pointers).
+const tnodeBytes = TTreeNodeCap*8 + 16
+
+// TTree is a binary tree of sorted multi-entry nodes built over the
+// column (a static, balanced build — the experiments only query it).
+type TTree struct {
+	col   *Column
+	nodes []tnode
+	root  int32
+	base  uint64
+}
+
+// BuildTTree constructs a balanced T-tree over the column's values.
+func BuildTTree(sim *memsim.Sim, c *Column) *TTree {
+	es := sortedEntries(c)
+	t := &TTree{col: c, root: -1}
+	c.Bind(sim)
+	// Chop the sorted entries into node-sized runs, then build a
+	// balanced binary tree over the runs.
+	var runs [][]entry
+	for lo := 0; lo < len(es); lo += TTreeNodeCap {
+		hi := lo + TTreeNodeCap
+		if hi > len(es) {
+			hi = len(es)
+		}
+		runs = append(runs, es[lo:hi])
+	}
+	// A real T-tree is grown by inserts and rotations, so node
+	// addresses carry no key order: neighbouring keys live in
+	// unrelated heap locations. The balanced bulk-build below would
+	// accidentally lay nodes out in near-key order (giving the T-tree
+	// an unrealistic locality advantage), so node slots are assigned
+	// through a deterministic pseudo-random permutation.
+	perm := scatterPermutation(len(runs))
+	t.nodes = make([]tnode, len(runs))
+	var build func(lo, hi int) int32
+	build = func(lo, hi int) int32 {
+		if lo >= hi {
+			return -1
+		}
+		mid := (lo + hi) / 2
+		idx := perm[mid]
+		t.nodes[idx] = tnode{entries: runs[mid], left: build(lo, mid), right: build(mid+1, hi)}
+		return idx
+	}
+	t.root = build(0, len(runs))
+	if sim != nil {
+		t.base = sim.Alloc(len(t.nodes) * tnodeBytes)
+		// Building writes every node once.
+		for i := range t.nodes {
+			sim.Write(t.base+uint64(i)*tnodeBytes, tnodeBytes)
+		}
+	}
+	return t
+}
+
+// touchNode mirrors reading a node's header and bounds, charging the
+// bounds-check CPU work.
+func (t *TTree) touchNode(sim *memsim.Sim, idx int32) {
+	if sim != nil {
+		sim.Read(t.base+uint64(idx)*tnodeBytes, 16)
+		sim.AddCPU(1, sim.Machine().Cost.WScanBUN)
+	}
+}
+
+// touchEntry mirrors reading one entry of a node, charging the
+// per-entry comparison work (same rate as the scan's per-value work,
+// so access paths compare fairly).
+func (t *TTree) touchEntry(sim *memsim.Sim, idx int32, k int) {
+	if sim != nil {
+		sim.Read(t.base+uint64(idx)*tnodeBytes+16+uint64(k)*8, 8)
+		sim.AddCPU(1, sim.Machine().Cost.WScanBUN/4)
+	}
+}
+
+// bounds returns the min and max value of a node (non-empty by
+// construction).
+func (n *tnode) bounds() (int32, int32) {
+	return n.entries[0].val, n.entries[len(n.entries)-1].val
+}
+
+// Lookup returns the OIDs of all entries equal to key.
+func (t *TTree) Lookup(sim *memsim.Sim, key int32) []bat.Oid {
+	var out []bat.Oid
+	idx := t.root
+	for idx != -1 {
+		n := &t.nodes[idx]
+		t.touchNode(sim, idx)
+		min, max := n.bounds()
+		switch {
+		case key < min:
+			idx = n.left
+		case key > max:
+			idx = n.right
+		default:
+			// Bounding node: binary search inside, then collect the
+			// duplicate run (duplicates never straddle nodes for
+			// distinct (val,oid) sort order only when values repeat
+			// within one run; scan neighbours via the right child
+			// chain to stay correct with duplicates).
+			out = append(out, t.collectEqual(sim, idx, key)...)
+			return out
+		}
+	}
+	return out
+}
+
+// collectEqual gathers all entries with value key from node idx and,
+// because duplicates may spill into neighbouring runs, from its
+// subtrees' adjacent bounding nodes.
+func (t *TTree) collectEqual(sim *memsim.Sim, idx int32, key int32) []bat.Oid {
+	var out []bat.Oid
+	if idx == -1 {
+		return out
+	}
+	n := &t.nodes[idx]
+	t.touchNode(sim, idx)
+	min, max := n.bounds()
+	if key < min {
+		return t.collectEqual(sim, n.left, key)
+	}
+	if key > max {
+		return t.collectEqual(sim, n.right, key)
+	}
+	// Binary search for the first occurrence inside this node.
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.touchEntry(sim, idx, mid)
+		if n.entries[mid].val < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for k := lo; k < len(n.entries) && n.entries[k].val == key; k++ {
+		t.touchEntry(sim, idx, k)
+		out = append(out, n.entries[k].oid)
+	}
+	// Duplicates may continue in the neighbouring runs.
+	if key == min {
+		out = append(t.collectEqual(sim, n.left, key), out...)
+	}
+	if key == max {
+		out = append(out, t.collectEqual(sim, n.right, key)...)
+	}
+	return out
+}
+
+// RangeSelect returns the OIDs of all values in [lo, hi] via an
+// in-order traversal pruned by node bounds.
+func (t *TTree) RangeSelect(sim *memsim.Sim, lo, hi int32) []bat.Oid {
+	var out []bat.Oid
+	var walk func(idx int32)
+	walk = func(idx int32) {
+		if idx == -1 {
+			return
+		}
+		n := &t.nodes[idx]
+		t.touchNode(sim, idx)
+		min, max := n.bounds()
+		// Inclusive bounds on both descents: node runs are arbitrary
+		// chops of the sorted entries, so duplicates of min/max can
+		// spill into the neighbouring subtrees.
+		if lo <= min {
+			walk(n.left)
+		}
+		if hi >= min && lo <= max {
+			for k, e := range n.entries {
+				if e.val >= lo && e.val <= hi {
+					t.touchEntry(sim, idx, k)
+					out = append(out, e.oid)
+				}
+			}
+		}
+		if hi >= max {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// scatterPermutation returns a deterministic pseudo-random permutation
+// of [0, n) (splitmix-seeded Fisher–Yates).
+func scatterPermutation(n int) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// Depth returns the tree depth (diagnostics).
+func (t *TTree) Depth() int {
+	var d func(idx int32) int
+	d = func(idx int32) int {
+		if idx == -1 {
+			return 0
+		}
+		l, r := d(t.nodes[idx].left), d(t.nodes[idx].right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return d(t.root)
+}

@@ -1,0 +1,53 @@
+package workload
+
+import "fmt"
+
+// Item is one row of the Figure-4 "Item" table: the relational tuple
+// the paper uses to motivate vertical decomposition (≥ 80 bytes wide
+// in a relational system, 8 bytes — or 1 after encoding — per column
+// as BATs).
+type Item struct {
+	Order    int32
+	Part     int32
+	Supp     int32
+	Qty      int32
+	Price    float64
+	Discnt   float64
+	Tax      float64
+	Status   string
+	Date1    int32 // days since epoch, like a DATE column
+	Date2    int32
+	ShipMode string
+	Comment  string
+}
+
+// ShipModes is the low-cardinality shipmode domain of Figure 4.
+var ShipModes = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+
+// Statuses is the one-character status domain.
+var Statuses = []string{"F", "O", "P"}
+
+// Items generates n deterministic Item rows. Discounts are drawn from
+// {0.00, 0.10} and shipmodes uniformly from ShipModes, echoing the
+// figure's example values.
+func Items(n int, seed uint64) []Item {
+	rng := NewRNG(seed)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Order:    int32(1000 + i),
+			Part:     int32(rng.Intn(2000)),
+			Supp:     int32(rng.Intn(100)),
+			Qty:      int32(1 + rng.Intn(50)),
+			Price:    float64(rng.Intn(10000)) / 100,
+			Discnt:   float64(rng.Intn(2)) / 10,
+			Tax:      float64(rng.Intn(9)) / 100,
+			Status:   Statuses[rng.Intn(len(Statuses))],
+			Date1:    int32(8000 + rng.Intn(2500)),
+			Date2:    int32(8000 + rng.Intn(2500)),
+			ShipMode: ShipModes[rng.Intn(len(ShipModes))],
+			Comment:  fmt.Sprintf("item comment %d", rng.Intn(1000)),
+		}
+	}
+	return items
+}
