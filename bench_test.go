@@ -166,6 +166,85 @@ func BenchmarkFig13Comparison(b *testing.B) {
 	}
 }
 
+// parBenchCard is the operand cardinality of the parallel-engine
+// benches: 4M tuples (32 MB/operand), far out of cache, so the
+// serial/parallel comparison measures the memory-bound join itself.
+const parBenchCard = 4 << 20
+
+// BenchmarkParallelJoin compares the serial and the parallel execution
+// engine end to end (cluster + join) at 4M tuples, for the two radix
+// algorithm families. The parallel result is checked byte-identical to
+// the serial result before timing starts.
+func BenchmarkParallelJoin(b *testing.B) {
+	l, r := workload.JoinInputs(parBenchCard, 9)
+	m := Origin2000()
+	for _, s := range []core.Strategy{core.PhashMin, core.Radix8} {
+		plan := core.NewPlan(s, parBenchCard, m)
+		want, err := core.ExecuteOpts(nil, l, r, plan, nil, core.Serial())
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := core.ExecuteOpts(nil, l, r, plan, nil, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			b.Fatalf("%v: parallel result size %d != serial %d", plan, got.Len(), want.Len())
+		}
+		for i := range want.BUNs {
+			if got.BUNs[i] != want.BUNs[i] {
+				b.Fatalf("%v: parallel BUN %d = %+v, want %+v", plan, i, got.BUNs[i], want.BUNs[i])
+			}
+		}
+		for _, eng := range []struct {
+			name string
+			opt  core.Options
+		}{
+			{"serial", core.Serial()},
+			{"parallel", core.Options{}},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", plan, eng.name), func(b *testing.B) {
+				b.SetBytes(int64(l.Bytes() + r.Bytes()))
+				for i := 0; i < b.N; i++ {
+					res, err := core.ExecuteOpts(nil, l, r, plan, nil, eng.opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Len() != parBenchCard {
+						b.Fatalf("bad result size %d", res.Len())
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelRadixCluster isolates the clustering phase on the
+// parallel engine: 4M tuples on the Radix8 operating point (multi-pass,
+// the per-worker histogram → prefix-sum → scatter scheme).
+func BenchmarkParallelRadixCluster(b *testing.B) {
+	in := workload.UniquePairs(parBenchCard, 10)
+	m := Origin2000()
+	bits := core.StrategyBits(core.Radix8, parBenchCard, m)
+	passes := core.OptimalPasses(bits, m)
+	for _, eng := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"serial", core.Serial()},
+		{"parallel", core.Options{}},
+	} {
+		b.Run(fmt.Sprintf("B=%d/P=%d/%s", bits, passes, eng.name), func(b *testing.B) {
+			b.SetBytes(int64(in.Bytes()))
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RadixClusterOpts(nil, in, bits, passes, nil, eng.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationSelect compares the §3.2 selection access paths
 // natively: point lookups on a 1M-value column.
 func BenchmarkAblationSelect(b *testing.B) {

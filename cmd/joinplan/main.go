@@ -5,16 +5,22 @@
 // model-optimal choice — what a Monet query optimizer armed with the
 // paper's cost models would pick.
 //
+// With -exec it also runs the model-optimal plan natively on the
+// serial and the parallel execution engine and reports both wall
+// clocks — prediction and reality side by side.
+//
 // Usage:
 //
-//	joinplan [-c 8000000] [-machine origin2k]
+//	joinplan [-c 8000000] [-machine origin2k] [-exec] [-workers 0]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
+	"time"
 
 	"monetlite"
 )
@@ -22,6 +28,8 @@ import (
 func main() {
 	card := flag.Int("c", 8_000_000, "join cardinality (tuples per operand)")
 	machine := flag.String("machine", "origin2k", "machine profile")
+	execute := flag.Bool("exec", false, "execute the optimal plan natively (serial + parallel)")
+	workers := flag.Int("workers", 0, "parallel-engine workers for -exec (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	m, err := monetlite.MachineByName(*machine)
@@ -58,6 +66,35 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nplan: %s\n", best)
+
+	if *execute {
+		nw := *workers
+		if nw <= 0 {
+			nw = runtime.GOMAXPROCS(0)
+		}
+		l, r := monetlite.JoinInputs(*card, 7)
+		t0 := time.Now()
+		serial, err := monetlite.ExecuteOpts(nil, l, r, best, nil, monetlite.Serial())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinplan:", err)
+			os.Exit(1)
+		}
+		serialT := time.Since(t0)
+		t0 = time.Now()
+		parallel, err := monetlite.ExecuteOpts(nil, l, r, best, nil, monetlite.Options{Parallelism: nw})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinplan:", err)
+			os.Exit(1)
+		}
+		parallelT := time.Since(t0)
+		if parallel.Len() != serial.Len() {
+			fmt.Fprintf(os.Stderr, "joinplan: parallel result size %d != serial %d\n", parallel.Len(), serial.Len())
+			os.Exit(1)
+		}
+		fmt.Printf("native: serial %v, parallel %v (%d workers, %.2fx)\n",
+			serialT.Round(time.Millisecond), parallelT.Round(time.Millisecond), nw,
+			float64(serialT)/float64(parallelT))
+	}
 }
 
 func predict(p monetlite.Plan, c int, m monetlite.Machine) monetlite.Breakdown {

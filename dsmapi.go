@@ -55,3 +55,20 @@ type Encoding = bat.Encoding
 // EncodeStrings dictionary-encodes a low-cardinality string column
 // (§3.1 byte encodings).
 func EncodeStrings(values []string) (*Encoding, error) { return bat.Encode(values) }
+
+// TableJoinResult is a table-level equi-join outcome: the join index
+// plus handles to both tables for column reconstruction.
+type TableJoinResult = dsm.JoinResult
+
+// TableJoin equi-joins left.leftCol = right.rightCol with the plan the
+// cost models pick for the cardinality — the full Monet pipeline.
+// Native runs use the fully parallel engine.
+func TableJoin(sim *Sim, left *Table, leftCol string, right *Table, rightCol string, m Machine) (*TableJoinResult, error) {
+	return dsm.Join(sim, left, leftCol, right, rightCol, m)
+}
+
+// TableJoinOpts is TableJoin with an explicit execution-engine
+// configuration.
+func TableJoinOpts(sim *Sim, left *Table, leftCol string, right *Table, rightCol string, m Machine, opt Options) (*TableJoinResult, error) {
+	return dsm.JoinOpts(sim, left, leftCol, right, rightCol, m, opt)
+}

@@ -25,6 +25,32 @@ import (
 // the largest boundary structure we allow (the paper sweeps B ≤ 25).
 const MaxBits = 26
 
+// CheckBits validates a radix-bit count. Anything outside [0, MaxBits]
+// is rejected: Go defines shifts ≥ the operand width, so an oversized
+// B would not crash but silently produce a wrong clustering.
+func CheckBits(bits int) error {
+	if bits < 0 || bits > MaxBits {
+		return fmt.Errorf("core: radix bits %d outside [0, %d]", bits, MaxBits)
+	}
+	return nil
+}
+
+// checkSplit validates a per-pass bit schedule and returns the total
+// bit count.
+func checkSplit(split []int) (int, error) {
+	bits := 0
+	for _, bp := range split {
+		if bp < 1 {
+			return 0, fmt.Errorf("core: pass with %d bits", bp)
+		}
+		bits += bp
+	}
+	if bits < 1 || bits > MaxBits {
+		return 0, fmt.Errorf("core: total radix bits %d outside [1, %d]", bits, MaxBits)
+	}
+	return bits, nil
+}
+
 // Clustered is a radix-clustered BAT: tuples reordered so that all
 // tuples whose hash value agrees on the lower Bits bits are contiguous.
 // Offsets[k] .. Offsets[k+1] delimit cluster k. The paper notes the
@@ -81,6 +107,9 @@ func (c *Clustered) Validate() error {
 // earlier passes taking the larger share — §3.4.2 reports performance
 // depends strongly on an even distribution.
 func EvenBitSplit(bits, passes int) []int {
+	if passes < 1 {
+		return nil
+	}
 	split := make([]int, passes)
 	base, rem := bits/passes, bits%passes
 	for i := range split {
@@ -123,16 +152,7 @@ func OptimalPasses(bits int, m memsim.Machine) int {
 // it returns memsim.ErrBudget (wrapped) if the sim's access budget is
 // exhausted.
 func RadixCluster(sim *memsim.Sim, in *bat.Pairs, bits, passes int, h hashtab.Hash) (*Clustered, error) {
-	if bits < 0 || bits > MaxBits {
-		return nil, fmt.Errorf("core: radix bits %d outside [0, %d]", bits, MaxBits)
-	}
-	if bits == 0 {
-		return &Clustered{Pairs: in, Bits: 0, Offsets: []int{0, in.Len()}, hash: h}, nil
-	}
-	if passes < 1 || passes > bits {
-		return nil, fmt.Errorf("core: %d passes invalid for %d bits", passes, bits)
-	}
-	return RadixClusterSplit(sim, in, EvenBitSplit(bits, passes), h)
+	return RadixClusterOpts(sim, in, bits, passes, h, Serial())
 }
 
 // RadixClusterSplit clusters with an explicit per-pass bit schedule
@@ -140,15 +160,9 @@ func RadixCluster(sim *memsim.Sim, in *bat.Pairs, bits, passes int, h hashtab.Ha
 // the §3.4.2 bit-distribution ablation; RadixCluster's even split is
 // the recommended schedule.
 func RadixClusterSplit(sim *memsim.Sim, in *bat.Pairs, split []int, h hashtab.Hash) (*Clustered, error) {
-	bits := 0
-	for _, bp := range split {
-		if bp < 1 {
-			return nil, fmt.Errorf("core: pass with %d bits", bp)
-		}
-		bits += bp
-	}
-	if bits < 1 || bits > MaxBits {
-		return nil, fmt.Errorf("core: total radix bits %d outside [1, %d]", bits, MaxBits)
+	bits, err := checkSplit(split)
+	if err != nil {
+		return nil, err
 	}
 	if h == nil {
 		h = hashtab.Identity
@@ -182,17 +196,23 @@ func RadixClusterSplit(sim *memsim.Sim, in *bat.Pairs, split []int, h hashtab.Ha
 		mask := uint32(hp - 1)
 		newRegions := make([]int, 0, (len(regions)-1)*hp+1)
 		cursors := make([]int, hp)
+		bounds := make([]int, hp)
 
 		for r := 0; r+1 < len(regions); r++ {
 			lo, hi := regions[r], regions[r+1]
+			if sim == nil {
+				// Native path: the shared region kernel, the same one
+				// the parallel engine fans out (parallel.go).
+				clusterRegionSerial(src, dst, lo, hi, shift, mask, hp, h, cursors, bounds)
+				newRegions = append(newRegions, bounds...)
+				continue
+			}
 			for i := range cursors {
 				cursors[i] = 0
 			}
 			// Histogram: one sequential read per tuple.
 			for i := lo; i < hi; i++ {
-				if sim != nil {
-					sim.Read(src.Addr(i), bat.PairSize)
-				}
+				sim.Read(src.Addr(i), bat.PairSize)
 				d := (h(src.BUNs[i].Tail) >> shift) & mask
 				cursors[d]++
 			}
@@ -208,10 +228,8 @@ func RadixClusterSplit(sim *memsim.Sim, in *bat.Pairs, split []int, h hashtab.Ha
 			for i := lo; i < hi; i++ {
 				bun := src.BUNs[i]
 				d := (h(bun.Tail) >> shift) & mask
-				if sim != nil {
-					sim.Read(src.Addr(i), bat.PairSize)
-					sim.Write(dst.Addr(cursors[d]), bat.PairSize)
-				}
+				sim.Read(src.Addr(i), bat.PairSize)
+				sim.Write(dst.Addr(cursors[d]), bat.PairSize)
 				dst.BUNs[cursors[d]] = bun
 				cursors[d]++
 			}

@@ -135,6 +135,20 @@ func (p Plan) String() string {
 	return fmt.Sprintf("%s (B=%d, P=%d)", p.Strategy, p.Bits, p.Passes)
 }
 
+// Validate rejects hand-built plans whose radix parameters the
+// cluster kernels cannot execute correctly: bits outside [0, MaxBits]
+// (oversized shifts would silently mis-cluster) or a pass count that
+// cannot distribute the bits.
+func (p Plan) Validate() error {
+	if err := CheckBits(p.Bits); err != nil {
+		return err
+	}
+	if p.Bits > 0 && (p.Passes < 1 || p.Passes > p.Bits) {
+		return fmt.Errorf("core: %d passes invalid for %d bits", p.Passes, p.Bits)
+	}
+	return nil
+}
+
 // NewPlan resolves a concrete strategy into bits and passes for
 // cardinality c on machine m. Auto is resolved by predicted cost; see
 // PlanAuto.
@@ -150,9 +164,20 @@ func NewPlan(s Strategy, c int, m memsim.Machine) Plan {
 	return Plan{Strategy: s, Bits: bits, Passes: passes}
 }
 
-// Execute runs the plan on operands l (outer) and r (inner), returning
-// the join index.
+// Execute runs the plan on operands l (outer) and r (inner) on the
+// serial engine, returning the join index.
 func Execute(sim *memsim.Sim, l, r *bat.Pairs, p Plan, h hashtab.Hash) (*JoinIndex, error) {
+	return ExecuteOpts(sim, l, r, p, h, Serial())
+}
+
+// ExecuteOpts runs the plan on the configured execution engine. The
+// baseline strategies (simple hash, sort-merge) have no partitioned
+// join phase to fan out and always run serially; instrumented runs
+// (sim != nil) are serial by contract.
+func ExecuteOpts(sim *memsim.Sim, l, r *bat.Pairs, p Plan, h hashtab.Hash, opt Options) (*JoinIndex, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	switch p.Strategy {
 	case SimpleHash:
 		return SimpleHashJoin(sim, l, r, h)
@@ -162,12 +187,12 @@ func Execute(sim *memsim.Sim, l, r *bat.Pairs, p Plan, h hashtab.Hash) (*JoinInd
 		if p.Bits == 0 {
 			return SimpleHashJoin(sim, l, r, h)
 		}
-		return PartitionedHashJoin(sim, l, r, p.Bits, p.Passes, h)
+		return PartitionedHashJoinOpts(sim, l, r, p.Bits, p.Passes, h, opt)
 	case Radix8, RadixMin:
 		if p.Bits == 0 {
 			return NestedLoopJoin(sim, l, r)
 		}
-		return RadixJoin(sim, l, r, p.Bits, p.Passes, h)
+		return RadixJoinOpts(sim, l, r, p.Bits, p.Passes, h, opt)
 	default:
 		return nil, fmt.Errorf("core: cannot execute strategy %v", p.Strategy)
 	}

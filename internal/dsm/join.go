@@ -71,8 +71,15 @@ func joinColumn(sim *memsim.Sim, t *Table, column string) (*bat.Pairs, error) {
 // Join equi-joins left.leftCol = right.rightCol with the strategy the
 // cost models pick for the cardinality (core.PlanAuto) — the full
 // Monet pipeline: materialize both join columns as BATs, radix-cluster
-// and join them, return the join index.
+// and join them, return the join index. Native runs use the fully
+// parallel engine; instrumented runs are serial by the simulator's
+// single-CPU contract.
 func Join(sim *memsim.Sim, left *Table, leftCol string, right *Table, rightCol string, m memsim.Machine) (*JoinResult, error) {
+	return JoinOpts(sim, left, leftCol, right, rightCol, m, core.Options{})
+}
+
+// JoinOpts is Join with an explicit execution-engine configuration.
+func JoinOpts(sim *memsim.Sim, left *Table, leftCol string, right *Table, rightCol string, m memsim.Machine, opt core.Options) (*JoinResult, error) {
 	l, err := joinColumn(sim, left, leftCol)
 	if err != nil {
 		return nil, err
@@ -86,7 +93,7 @@ func Join(sim *memsim.Sim, left *Table, leftCol string, right *Table, rightCol s
 		c = right.N
 	}
 	plan := core.PlanAuto(c, m)
-	idx, err := core.Execute(sim, l, r, plan, nil)
+	idx, err := core.ExecuteOpts(sim, l, r, plan, nil, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -97,6 +97,9 @@ func NewShifted(maxN, shift int, h Hash) *Table {
 // Buckets returns the live bucket count of the current build.
 func (t *Table) Buckets() int { return int(t.mask) + 1 }
 
+// Cap returns the maximum build size the table was allocated for.
+func (t *Table) Cap() int { return len(t.next) }
+
 // Bytes returns the live footprint of the current build: heads plus
 // chain entries, 4 bytes each. Together with the 8-byte build tuples
 // this is the "inner relation plus hash-table" ≈ 12 bytes/tuple of

@@ -153,6 +153,49 @@ func SortMergeJoin(sim *Sim, l, r *Pairs) (*JoinIndex, error) {
 func OptimalPasses(bits int, m Machine) int { return core.OptimalPasses(bits, m) }
 
 // ---------------------------------------------------------------------
+// The parallel execution engine. After radix-clustering, every cluster
+// pair joins independently, so the native join phase (and the
+// clustering passes themselves) fan out over a bounded goroutine pool.
+// Results are byte-identical to the serial operators; instrumented
+// runs (sim != nil) always use the serial path, as the simulator
+// models a single CPU.
+
+// Options tunes the execution engine: Parallelism bounds the worker
+// goroutines (0 = GOMAXPROCS, 1 = serial).
+type Options = core.Options
+
+// Serial returns Options that force the serial engine.
+func Serial() Options { return core.Serial() }
+
+// ExecuteOpts runs a plan on the configured execution engine.
+func ExecuteOpts(sim *Sim, l, r *Pairs, p Plan, h Hash, opt Options) (*JoinIndex, error) {
+	return core.ExecuteOpts(sim, l, r, p, h, opt)
+}
+
+// JoinParallel runs a plan natively (no simulator) on the fully
+// parallel engine — the production fast path. The result is
+// byte-identical to Execute(nil, ...).
+func JoinParallel(l, r *Pairs, p Plan, h Hash) (*JoinIndex, error) {
+	return core.ExecuteOpts(nil, l, r, p, h, core.Options{})
+}
+
+// RadixClusterOpts is RadixCluster on the configured engine.
+func RadixClusterOpts(sim *Sim, in *Pairs, bits, passes int, h Hash, opt Options) (*Clustered, error) {
+	return core.RadixClusterOpts(sim, in, bits, passes, h, opt)
+}
+
+// PartitionedHashJoinOpts is PartitionedHashJoin on the configured
+// engine.
+func PartitionedHashJoinOpts(sim *Sim, l, r *Pairs, bits, passes int, h Hash, opt Options) (*JoinIndex, error) {
+	return core.PartitionedHashJoinOpts(sim, l, r, bits, passes, h, opt)
+}
+
+// RadixJoinOpts is RadixJoin on the configured engine.
+func RadixJoinOpts(sim *Sim, l, r *Pairs, bits, passes int, h Hash, opt Options) (*JoinIndex, error) {
+	return core.RadixJoinOpts(sim, l, r, bits, passes, h, opt)
+}
+
+// ---------------------------------------------------------------------
 // Strategy planning (§3.4.4).
 
 // Strategy enumerates the §3.4.4 join strategies.
