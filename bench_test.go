@@ -169,17 +169,23 @@ func BenchmarkFig13Comparison(b *testing.B) {
 // parBenchCard is the operand cardinality of the parallel-engine
 // benches: 4M tuples (32 MB/operand), far out of cache, so the
 // serial/parallel comparison measures the memory-bound join itself.
-const parBenchCard = 4 << 20
+// Under -short (smoke runs) the benches shrink to 256K tuples.
+func parBenchCard() int {
+	if testing.Short() {
+		return 1 << 18
+	}
+	return 4 << 20
+}
 
 // BenchmarkParallelJoin compares the serial and the parallel execution
 // engine end to end (cluster + join) at 4M tuples, for the two radix
 // algorithm families. The parallel result is checked byte-identical to
 // the serial result before timing starts.
 func BenchmarkParallelJoin(b *testing.B) {
-	l, r := workload.JoinInputs(parBenchCard, 9)
+	l, r := workload.JoinInputs(parBenchCard(), 9)
 	m := Origin2000()
 	for _, s := range []core.Strategy{core.PhashMin, core.Radix8} {
-		plan := core.NewPlan(s, parBenchCard, m)
+		plan := core.NewPlan(s, parBenchCard(), m)
 		want, err := core.ExecuteOpts(nil, l, r, plan, nil, core.Serial())
 		if err != nil {
 			b.Fatal(err)
@@ -210,7 +216,7 @@ func BenchmarkParallelJoin(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					if res.Len() != parBenchCard {
+					if res.Len() != parBenchCard() {
 						b.Fatalf("bad result size %d", res.Len())
 					}
 				}
@@ -223,9 +229,9 @@ func BenchmarkParallelJoin(b *testing.B) {
 // parallel engine: 4M tuples on the Radix8 operating point (multi-pass,
 // the per-worker histogram → prefix-sum → scatter scheme).
 func BenchmarkParallelRadixCluster(b *testing.B) {
-	in := workload.UniquePairs(parBenchCard, 10)
+	in := workload.UniquePairs(parBenchCard(), 10)
 	m := Origin2000()
-	bits := core.StrategyBits(core.Radix8, parBenchCard, m)
+	bits := core.StrategyBits(core.Radix8, parBenchCard(), m)
 	passes := core.OptimalPasses(bits, m)
 	for _, eng := range []struct {
 		name string
@@ -343,7 +349,10 @@ func BenchmarkAblationBitsPerPass(b *testing.B) {
 // choice natively: aggregating a column stored at 1, 2, 4 and 8
 // bytes per value.
 func BenchmarkAblationEncodingWidth(b *testing.B) {
-	const n = 1 << 22
+	n := 1 << 22 // 4M values per width
+	if testing.Short() {
+		n = 1 << 19
+	}
 	v8 := make([]int8, n)
 	v16 := make([]int16, n)
 	v32 := make([]int32, n)
@@ -355,7 +364,7 @@ func BenchmarkAblationEncodingWidth(b *testing.B) {
 		v64[i] = int64(i)
 	}
 	b.Run("width=1", func(b *testing.B) {
-		b.SetBytes(n)
+		b.SetBytes(int64(n))
 		var sink int64
 		for i := 0; i < b.N; i++ {
 			for _, v := range v8 {
@@ -365,7 +374,7 @@ func BenchmarkAblationEncodingWidth(b *testing.B) {
 		_ = sink
 	})
 	b.Run("width=2", func(b *testing.B) {
-		b.SetBytes(2 * n)
+		b.SetBytes(int64(2 * n))
 		var sink int64
 		for i := 0; i < b.N; i++ {
 			for _, v := range v16 {
@@ -375,7 +384,7 @@ func BenchmarkAblationEncodingWidth(b *testing.B) {
 		_ = sink
 	})
 	b.Run("width=4", func(b *testing.B) {
-		b.SetBytes(4 * n)
+		b.SetBytes(int64(4 * n))
 		var sink int64
 		for i := 0; i < b.N; i++ {
 			for _, v := range v32 {
@@ -385,7 +394,7 @@ func BenchmarkAblationEncodingWidth(b *testing.B) {
 		_ = sink
 	})
 	b.Run("width=8", func(b *testing.B) {
-		b.SetBytes(8 * n)
+		b.SetBytes(int64(8 * n))
 		var sink int64
 		for i := 0; i < b.N; i++ {
 			for _, v := range v64 {

@@ -1,0 +1,159 @@
+// Command mlquery runs a canned query set over the Figure-4 Item
+// workload through the cost-model-driven BAT-algebra engine
+// (internal/engine), printing each query's EXPLAIN — the physical
+// operator tree with the model-chosen access paths, join algorithm and
+// radix bits, and per-operator predicted cost — next to its native
+// wall-clock timing, and, with -sim, the simulated cost on the chosen
+// machine profile so prediction and measurement sit side by side.
+//
+// Usage:
+//
+//	mlquery [-rows 1048576] [-parts 2000] [-machine origin2k] [-sim] [-workers 0] [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"monetlite"
+)
+
+// query is one canned query: a name, the SQL it stands for, and its
+// builder.
+type query struct {
+	name  string
+	sql   string
+	build func() *monetlite.QueryBuilder
+}
+
+func main() {
+	rows := flag.Int("rows", 1<<20, "Item table cardinality")
+	nparts := flag.Int("parts", 2000, "Part dimension cardinality")
+	machine := flag.String("machine", "origin2k", "machine profile for planning (and -sim)")
+	simulate := flag.Bool("sim", false, "also run instrumented on the machine's simulator")
+	workers := flag.Int("workers", 0, "parallel join workers (0 = GOMAXPROCS, 1 = serial)")
+	top := flag.Int("top", 10, "result rows to print per query")
+	flag.Parse()
+
+	m, err := monetlite.MachineByName(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *rows <= 0 || *nparts <= 0 {
+		fmt.Fprintln(os.Stderr, "mlquery: -rows and -parts must be positive")
+		os.Exit(2)
+	}
+
+	fmt.Printf("generating item(%d rows) and part(%d rows)...\n", *rows, *nparts)
+	t0 := time.Now()
+	items, err := monetlite.ItemTable(*rows, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := monetlite.PartTable(*nparts, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v; item decomposed to %d bytes/tuple (N-ary record: %d)\n\n",
+		time.Since(t0).Round(time.Millisecond), items.BUNWidth(), items.Schema.RowWidth())
+
+	revenue := monetlite.Mul(monetlite.Col("price"),
+		monetlite.Sub(monetlite.Const(1), monetlite.Col("discnt")))
+	// Q2's point range sits mid-domain whatever the cardinality
+	// (order values are 1000 .. 1000+rows-1).
+	orderLo := int64(1000 + *rows/2)
+
+	queries := []query{
+		{
+			name: "Q1 revenue by shipmode",
+			sql: "SELECT shipmode, COUNT(*), SUM(price*(1-discnt)) FROM item\n" +
+				"WHERE date1 BETWEEN 8500 AND 9499 GROUP BY shipmode",
+			build: func() *monetlite.QueryBuilder {
+				return monetlite.Query(items).
+					WhereRange("date1", 8500, 9499).
+					GroupBy("shipmode", revenue)
+			},
+		},
+		{
+			name: "Q2 point lookup via index",
+			sql: fmt.Sprintf("SELECT order, qty, price, shipmode FROM item\n"+
+				"WHERE order BETWEEN %d AND %d", orderLo, orderLo+19),
+			build: func() *monetlite.QueryBuilder {
+				return monetlite.Query(items).
+					WhereRange("order", orderLo, orderLo+19).
+					Select("order", "qty", "price", "shipmode")
+			},
+		},
+		{
+			name: "Q3 select-join-aggregate",
+			sql: "SELECT p.category, COUNT(*), SUM(i.price*(1-i.discnt)) FROM item i, part p\n" +
+				"WHERE i.date1 BETWEEN 8500 AND 9499 AND i.shipmode = 'MAIL' AND i.part = p.id\n" +
+				"GROUP BY p.category ORDER BY SUM DESC",
+			build: func() *monetlite.QueryBuilder {
+				return monetlite.Query(items).
+					WhereRange("date1", 8500, 9499).
+					WhereString("shipmode", "MAIL").
+					JoinTable(parts, "part", "id").
+					GroupBy("category", revenue).
+					OrderBy("sum", true)
+			},
+		},
+		{
+			name: "Q4 full join, top categories by margin",
+			sql: "SELECT p.category, COUNT(*), SUM(p.retail - i.price) FROM item i, part p\n" +
+				"WHERE i.part = p.id GROUP BY p.category ORDER BY SUM DESC",
+			build: func() *monetlite.QueryBuilder {
+				return monetlite.Query(items).
+					JoinTable(parts, "part", "id").
+					GroupBy("category", monetlite.Sub(monetlite.Col("retail"), monetlite.Col("price"))).
+					OrderBy("sum", true)
+			},
+		},
+	}
+
+	// One simulator for the whole session: column BATs bind to the
+	// first sim they see and stay bound, so per-query costs are deltas
+	// of the shared counters (caches stay warm across queries, like a
+	// real session).
+	var sim *monetlite.Sim
+	if *simulate {
+		sim, err = monetlite.NewSim(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, q := range queries {
+		fmt.Printf("=== %s ===\n%s\n\n", q.name, q.sql)
+		b := q.build().On(m).Parallel(*workers)
+		plan, err := b.Plan()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(plan.Explain())
+
+		t0 := time.Now()
+		res, err := plan.Run(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		native := time.Since(t0)
+		fmt.Printf("\nnative: %v, %d result rows\n", native.Round(10*time.Microsecond), res.N())
+
+		if sim != nil {
+			before := sim.Stats()
+			if _, err := plan.Run(sim); err != nil {
+				log.Fatal(err)
+			}
+			st := sim.Stats().Sub(before)
+			fmt.Printf("simulated on %s: %.1f ms (L1 %d, L2 %d, TLB %d misses) vs predicted %.1f ms\n",
+				m.Name, st.ElapsedMillis(), st.L1Misses, st.L2Misses, st.TLBMisses,
+				plan.Predicted().Millis(m))
+		}
+		fmt.Printf("\n%s\n", res.Format(*top))
+	}
+}

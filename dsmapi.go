@@ -49,6 +49,17 @@ func Items(n int, seed uint64) []workload.Item { return workload.Items(n, seed) 
 // Item is one raw row of the Figure-4 table.
 type Item = workload.Item
 
+// Part is one raw row of the Part dimension table (id joins
+// item.part).
+type Part = workload.Part
+
+// Parts generates the raw Part dimension rows (for oracles and
+// displays).
+func Parts(n int, seed uint64) []Part { return workload.Parts(n, seed) }
+
+// Categories returns the low-cardinality part-category domain.
+func Categories() []string { return workload.Categories }
+
 // Encoding is a 1-/2-byte dictionary encoding of a string column.
 type Encoding = bat.Encoding
 

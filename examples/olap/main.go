@@ -6,9 +6,13 @@
 //	WHERE  date1 BETWEEN 8500 AND 9499
 //	GROUP  BY shipmode
 //
-// and quantifying why vertical decomposition wins: the same
-// one-column scan costs far less at stride 1 (encoded byte) than at
-// stride 8 (BUN) or stride ~80+ (N-ary relational record).
+// through the cost-model-driven query engine: the query is a logical
+// plan, the physical planner picks the access path and grouping
+// algorithm from the paper's cost models (EXPLAIN shows the choices
+// and predictions), and the run is instrumented on the Origin2000
+// simulator. The example then quantifies why vertical decomposition
+// wins: the same one-column scan costs far less at stride 1 (encoded
+// byte) than at stride 8 (BUN) or stride ~80+ (N-ary record).
 //
 // Run with:
 //
@@ -38,39 +42,35 @@ func main() {
 	}
 	fmt.Printf(" (shipmode stored in %d byte via dictionary %v)\n\n", sm.Width(), sm.Enc.Dict)
 
-	// The query, instrumented on the Origin2000 profile.
+	// The query as the engine sees it: a logical plan, lowered by the
+	// cost-model-driven physical planner.
+	q := monetlite.Query(table).
+		WhereRange("date1", 8500, 9499).
+		GroupBy("shipmode", monetlite.Mul(monetlite.Col("price"),
+			monetlite.Sub(monetlite.Const(1), monetlite.Col("discnt"))))
+	plan, err := q.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan.Explain())
+
+	// Execute instrumented on the Origin2000 profile.
 	machine := monetlite.Origin2000()
 	sim, err := monetlite.NewSim(machine)
 	if err != nil {
 		log.Fatal(err)
 	}
 	table.Bind(sim)
-
-	oids, err := table.SelectRange(sim, "date1", 8500, 9499)
-	if err != nil {
-		log.Fatal(err)
-	}
-	discnt, err := table.GatherFloat(sim, "discnt", oids)
-	if err != nil {
-		log.Fatal(err)
-	}
-	i := 0
-	result, err := table.GroupAggregate(sim, "shipmode", "price", oids, func(price float64) float64 {
-		v := price * (1 - discnt[i])
-		i++
-		return v
-	})
+	result, err := plan.Run(sim)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("query: %d of %d rows qualify; revenue by shipmode:\n", len(oids), rows)
-	for _, r := range result {
-		fmt.Printf("  %-8s  count=%7d  sum=%14.2f  avg=%8.2f\n", r.Key, r.Count, r.Sum, r.Sum/float64(r.Count))
-	}
+	fmt.Printf("revenue by shipmode (%d groups):\n%s", result.N(), result.Format(-1))
 	st := sim.Stats()
-	fmt.Printf("\nsimulated cost on %s: %.1f ms (L1 %d, L2 %d, TLB %d misses)\n\n",
+	fmt.Printf("\nsimulated cost on %s: %.1f ms (L1 %d, L2 %d, TLB %d misses)\n",
 		machine.Name, st.ElapsedMillis(), st.L1Misses, st.L2Misses, st.TLBMisses)
+	fmt.Printf("cost-model prediction: %.1f ms\n\n", plan.Predicted().Millis(machine))
 
 	// §3.1 quantified: the same single-column aggregate under three
 	// physical layouts.
@@ -85,10 +85,10 @@ func main() {
 		dsmStats.ElapsedMillis(), nsm.ElapsedNanos()/dsmStats.ElapsedNanos())
 
 	// The §3.1 predicate re-mapping: selecting a string never decodes.
-	mail, err := table.SelectString(nil, "shipmode", "MAIL")
+	mail, err := monetlite.Query(table).WhereString("shipmode", "MAIL").Select("order").Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 	code, _ := sm.Enc.Code("MAIL")
-	fmt.Printf("\npredicate shipmode='MAIL' re-mapped to byte code %d: %d rows\n", code, len(mail))
+	fmt.Printf("\npredicate shipmode='MAIL' re-mapped to byte code %d: %d rows\n", code, mail.N())
 }

@@ -55,6 +55,13 @@ func (b Breakdown) Total(m memsim.Machine) float64 {
 // Millis is Total in milliseconds.
 func (b Breakdown) Millis(m memsim.Machine) float64 { return b.Total(m) / 1e6 }
 
+// Add sums two breakdowns component-wise — the composition rule of
+// the paper's models (a plan's cost is the sum of its operators').
+func (b Breakdown) Add(o Breakdown) Breakdown { return b.add(o) }
+
+// Scale multiplies every component by k (e.g. P passes, two operands).
+func (b Breakdown) Scale(k float64) Breakdown { return b.scale(k) }
+
 // add sums two breakdowns component-wise.
 func (b Breakdown) add(o Breakdown) Breakdown {
 	return Breakdown{

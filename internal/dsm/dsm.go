@@ -12,6 +12,7 @@ package dsm
 
 import (
 	"fmt"
+	"sync"
 
 	"monetlite/internal/bat"
 	"monetlite/internal/memsim"
@@ -88,6 +89,27 @@ type Column struct {
 	Def ColumnDef
 	Vec bat.Vector
 	Enc *bat.Encoding // non-nil when Vec holds dictionary codes
+
+	idxMu sync.Mutex
+	idx   any // cached access-path index (see IndexCache)
+}
+
+// IndexCache returns the column's cached access-path index (e.g. the
+// engine's CSS-tree), building and storing it on first use. Columns
+// are immutable once decomposed, so the cache never invalidates — and
+// because it lives on the column, dropping a table frees its indexes.
+func (c *Column) IndexCache(build func() (any, error)) (any, error) {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	if c.idx != nil {
+		return c.idx, nil
+	}
+	v, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.idx = v
+	return v, nil
 }
 
 // Width returns the stored bytes per value — 1 for an encoded
@@ -193,6 +215,11 @@ func Decompose(schema Schema, rows [][]any) (*Table, error) {
 	}
 	return t, nil
 }
+
+// ShrinkInts stores an int64 column in the narrowest fixed width that
+// holds its domain — the §3.1 byte-encoding idea applied to integers.
+// Exposed for engine temporaries (materialized group-key columns).
+func ShrinkInts(vals []int64) bat.Vector { return shrinkInts(vals) }
 
 // shrinkInts stores an int64 column in the narrowest fixed width that
 // holds its domain — the §3.1 byte-encoding idea applied to integers.

@@ -23,6 +23,29 @@ func ItemSchema() Schema {
 	}
 }
 
+// PartSchema is the "Part" dimension-table schema (id joins
+// item.part).
+func PartSchema() Schema {
+	return Schema{
+		Name: "part",
+		Cols: []ColumnDef{
+			{Name: "id", Type: LInt},
+			{Name: "category", Type: LString},
+			{Name: "retail", Type: LFloat},
+		},
+	}
+}
+
+// PartTable generates and decomposes n deterministic Part rows.
+func PartTable(n int, seed uint64) (*Table, error) {
+	parts := workload.Parts(n, seed)
+	rows := make([][]any, n)
+	for i, p := range parts {
+		rows[i] = []any{int64(p.Id), p.Category, p.Retail}
+	}
+	return Decompose(PartSchema(), rows)
+}
+
 // ItemTable generates and decomposes n deterministic Item rows.
 func ItemTable(n int, seed uint64) (*Table, error) {
 	items := workload.Items(n, seed)

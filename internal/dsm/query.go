@@ -10,7 +10,9 @@ import (
 
 // SelectRange returns the OIDs of rows whose numeric column value lies
 // in [lo, hi]: a scan-select over the decomposed column (optimal
-// locality; the §3.2 low-selectivity access path).
+// locality; the §3.2 low-selectivity access path). Native runs take a
+// fast path with no per-element simulator check, direct typed-slice
+// access, and an output preallocated from a sampled selectivity.
 func (t *Table) SelectRange(sim *memsim.Sim, column string, lo, hi int64) ([]bat.Oid, error) {
 	c, err := t.Column(column)
 	if err != nil {
@@ -18,6 +20,9 @@ func (t *Table) SelectRange(sim *memsim.Sim, column string, lo, hi int64) ([]bat
 	}
 	if c.Enc != nil {
 		return nil, fmt.Errorf("dsm: SelectRange on encoded column %q; use SelectStringRange", column)
+	}
+	if sim == nil {
+		return nativeSelectRange(c, lo, hi), nil
 	}
 	c.Vec.Bind(sim)
 	var out []bat.Oid
@@ -27,10 +32,94 @@ func (t *Table) SelectRange(sim *memsim.Sim, column string, lo, hi int64) ([]bat
 			out = append(out, bat.Oid(i))
 		}
 	}
-	if sim != nil {
-		sim.AddCPU(c.Vec.Len(), sim.Machine().Cost.WScanBUN/4)
-	}
+	sim.AddCPU(c.Vec.Len(), sim.Machine().Cost.WScanBUN/4)
 	return out, nil
+}
+
+// SamplePositions returns up to 1024 evenly spaced positions of an
+// n-row column: the deterministic probe set behind every selectivity
+// and group-count estimate (here and in the engine's planner).
+func SamplePositions(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	step := (n + 1023) / 1024
+	if step < 1 {
+		step = 1
+	}
+	out := make([]int, 0, (n+step-1)/step)
+	for i := 0; i < n; i += step {
+		out = append(out, i)
+	}
+	return out
+}
+
+// estimateCap probes the sample positions through the test predicate
+// and sizes an output slice from the matching fraction (with slack,
+// clamped to [16, n]) — so the native scan almost never reallocates
+// while small results stay small.
+func estimateCap(n int, test func(i int) bool) int {
+	pos := SamplePositions(n)
+	if len(pos) == 0 {
+		return 0
+	}
+	match := 0
+	for _, i := range pos {
+		if test(i) {
+			match++
+		}
+	}
+	cap := n / len(pos) * match
+	cap += cap / 8
+	if cap < 16 {
+		cap = 16
+	}
+	if cap > n {
+		cap = n
+	}
+	return cap
+}
+
+// nativeSelectRange is the uninstrumented scan-select: one tight loop
+// per physical width, no Touch, preallocated output.
+func nativeSelectRange(c *Column, lo, hi int64) []bat.Oid {
+	switch v := c.Vec.(type) {
+	case *bat.I8Vec:
+		return selectSlice(v.V, lo, hi)
+	case *bat.I16Vec:
+		return selectSlice(v.V, lo, hi)
+	case *bat.I32Vec:
+		return selectSlice(v.V, lo, hi)
+	case *bat.I64Vec:
+		return selectSlice(v.V, lo, hi)
+	default:
+		n := c.Vec.Len()
+		out := make([]bat.Oid, 0, estimateCap(n, func(i int) bool {
+			x := c.Vec.Int(i)
+			return x >= lo && x <= hi
+		}))
+		for i := 0; i < n; i++ {
+			if x := c.Vec.Int(i); x >= lo && x <= hi {
+				out = append(out, bat.Oid(i))
+			}
+		}
+		return out
+	}
+}
+
+// selectSlice scans one typed slice. Widths narrower than the bounds
+// clamp correctly because the comparison widens each element.
+func selectSlice[T int8 | int16 | int32 | int64](vals []T, lo, hi int64) []bat.Oid {
+	out := make([]bat.Oid, 0, estimateCap(len(vals), func(i int) bool {
+		x := int64(vals[i])
+		return x >= lo && x <= hi
+	}))
+	for i, v := range vals {
+		if x := int64(v); x >= lo && x <= hi {
+			out = append(out, bat.Oid(i))
+		}
+	}
+	return out
 }
 
 // SelectString returns the OIDs of rows whose string column equals
@@ -61,6 +150,9 @@ func (t *Table) SelectString(sim *memsim.Sim, column, value string) ([]bat.Oid, 
 	if !ok {
 		return nil, nil // value outside domain: empty result
 	}
+	if sim == nil {
+		return nativeSelectCode(c, code), nil
+	}
 	c.Vec.Bind(sim)
 	var out []bat.Oid
 	for i := 0; i < c.Vec.Len(); i++ {
@@ -69,11 +161,48 @@ func (t *Table) SelectString(sim *memsim.Sim, column, value string) ([]bat.Oid, 
 			out = append(out, bat.Oid(i))
 		}
 	}
-	if sim != nil {
-		sim.AddCPU(c.Vec.Len(), sim.Machine().Cost.WScanBUN/4)
-	}
+	sim.AddCPU(c.Vec.Len(), sim.Machine().Cost.WScanBUN/4)
 	return out, nil
 }
+
+// nativeSelectCode is the uninstrumented byte-code equality scan: the
+// re-mapped string predicate on the 1-/2-byte code column, as one
+// tight loop with preallocated output.
+func nativeSelectCode(c *Column, code int64) []bat.Oid {
+	switch v := c.Vec.(type) {
+	case *bat.I8Vec:
+		return selectEqSlice(v.V, int8(code))
+	case *bat.I16Vec:
+		return selectEqSlice(v.V, int16(code))
+	default:
+		n := c.Vec.Len()
+		out := make([]bat.Oid, 0, estimateCap(n, func(i int) bool { return codeOf(c, i) == code }))
+		for i := 0; i < n; i++ {
+			if codeOf(c, i) == code {
+				out = append(out, bat.Oid(i))
+			}
+		}
+		return out
+	}
+}
+
+// selectEqSlice scans one typed code slice for equality. The target is
+// pre-narrowed to the slice's element type, so each comparison is a
+// single machine-width compare (codes are stored with wraparound, and
+// narrowing the unsigned code value applies the same wraparound).
+func selectEqSlice[T int8 | int16](vals []T, code T) []bat.Oid {
+	out := make([]bat.Oid, 0, estimateCap(len(vals), func(i int) bool { return vals[i] == code }))
+	for i, v := range vals {
+		if v == code {
+			out = append(out, bat.Oid(i))
+		}
+	}
+	return out
+}
+
+// CodeAt reads the unsigned dictionary code at position i of an
+// encoded column — the value the §3.1 predicate re-mapping compares.
+func CodeAt(c *Column, i int) int64 { return codeOf(c, i) }
 
 // codeOf reads the unsigned dictionary code at position i.
 func codeOf(c *Column, i int) int64 {

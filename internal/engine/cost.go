@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"math"
+
+	"monetlite/internal/costmodel"
+	"monetlite/internal/memsim"
+)
+
+// Cost formulas for the physical choices the paper's models do not
+// cover directly, assembled from the same per-event methodology (§2,
+// §3.4): expected L1/L2/TLB miss counts times calibrated latencies
+// plus CPU work. Joins use costmodel's Tc/Tr/Th via core.PredictPlan;
+// the formulas here cover selections, gathers and grouping.
+
+// seqBreakdown models a sequential sweep over bytes of memory: one
+// miss per cache line / page, the optimal-locality pattern of a
+// scan-select (§3.2).
+func seqBreakdown(bytes float64, m memsim.Machine) costmodel.Breakdown {
+	return costmodel.Breakdown{
+		L1Misses:  bytes / float64(m.L1.LineSize),
+		L2Misses:  bytes / float64(m.L2.LineSize),
+		TLBMisses: bytes / float64(m.TLB.PageSize),
+	}
+}
+
+// randomBreakdown models k random accesses into a region of footprint
+// bytes: every access misses a cache whose capacity the footprint
+// exceeds, scaled by the fraction of the region beyond the cache — but
+// never more misses than the region has lines (or pages), since a
+// dense access pattern degenerates to a sweep that touches each line
+// once.
+func randomBreakdown(k, footprint float64, m memsim.Machine) costmodel.Breakdown {
+	miss := func(cache, unit float64) float64 {
+		if footprint <= cache {
+			return 0
+		}
+		n := k * (1 - cache/footprint)
+		if lines := footprint / unit; n > lines {
+			n = lines
+		}
+		return n
+	}
+	return costmodel.Breakdown{
+		L1Misses:  miss(float64(m.L1.Size), float64(m.L1.LineSize)),
+		L2Misses:  miss(float64(m.L2.Size), float64(m.L2.LineSize)),
+		TLBMisses: miss(float64(m.TLB.Span()), float64(m.TLB.PageSize)),
+	}
+}
+
+// scanSelectCost predicts a full-column scan select over n values of
+// the given stored width, writing k qualifying OIDs.
+func scanSelectCost(n int, width int, k float64, m memsim.Machine) costmodel.Breakdown {
+	b := seqBreakdown(float64(n)*float64(width), m)
+	out := seqBreakdown(k*4, m)
+	b = b.Add(out)
+	b.CPUNanos = float64(n)*m.Cost.WScanBUN/4 + k*m.Cost.WScanBUN/4
+	return b
+}
+
+// cssSelectCost predicts a CSS-tree range select returning k of n
+// entries: a descent of height ceil(log_f n) — one cache line per
+// level, randomly placed — then a sequential leaf scan of k (key, OID)
+// entries, the k-OID output, and the positional re-sort of the result.
+func cssSelectCost(n int, k float64, m memsim.Machine) costmodel.Breakdown {
+	fanout := float64(m.L1.LineSize / 4)
+	if fanout < 2 {
+		fanout = 2
+	}
+	height := 1.0
+	if n > 1 {
+		height = math.Ceil(math.Log(float64(n)) / math.Log(fanout))
+	}
+	b := costmodel.Breakdown{ // descent: one line touch per level
+		L1Misses:  height,
+		L2Misses:  height,
+		TLBMisses: height,
+	}
+	leaf := seqBreakdown(k*8, m) // 4-byte key + 4-byte OID per entry
+	out := seqBreakdown(k*4, m)
+	b = b.Add(leaf).Add(out)
+	lgk := math.Log2(k + 2)
+	b.CPUNanos = height*fanout*m.Cost.WScanBUN/4 + // in-node scans
+		k*m.Cost.WScanBUN/4 + // leaf emit
+		k*lgk*m.Cost.WScanBUN/8 // re-sort to storage order
+	return b
+}
+
+// refilterCost predicts re-testing a predicate on k already-selected
+// rows of a column spanning footprint bytes: k random gathers plus the
+// OID rewrite.
+func refilterCost(k, footprint float64, m memsim.Machine) costmodel.Breakdown {
+	b := randomBreakdown(k, footprint, m)
+	b = b.Add(seqBreakdown(k*4, m))
+	b.CPUNanos = k * m.Cost.WScanBUN / 2
+	return b
+}
+
+// gatherCost predicts materializing k values of the given width from a
+// column of footprint bytes through an OID list (nil-OID scans become
+// sequential, but the planner conservatively assumes the gather is
+// positional/random), writing the k-value temporary sequentially.
+func gatherCost(k, footprint float64, width int, m memsim.Machine) costmodel.Breakdown {
+	b := randomBreakdown(k, footprint, m)
+	b = b.Add(seqBreakdown(k*float64(width), m))
+	b.CPUNanos = k * m.Cost.WScanBUN / 4
+	return b
+}
+
+// groupCost predicts grouping n tuples into g groups. Hash grouping
+// (§3.2) makes two random accesses per tuple into a table of ~48
+// bytes/group — cache-resident while that footprint fits. Sort
+// grouping radix-sorts the (key, row) pairs first — modelled as four
+// 8-bit cluster passes via the §3.4.2 formula — then merges
+// sequentially.
+func groupCost(n int, g float64, useSort bool, m memsim.Machine) costmodel.Breakdown {
+	model := costmodel.New(m)
+	if useSort {
+		b := model.ClusterPass(8, n).Scale(4)
+		// The merge scan re-gathers the measure through the sorted row
+		// index: one random access per tuple over the whole relation.
+		merge := seqBreakdown(float64(n)*8, m).
+			Add(randomBreakdown(float64(n), float64(n)*8, m))
+		merge.CPUNanos = float64(n) * m.Cost.WScanBUN
+		return b.Add(merge)
+	}
+	b := randomBreakdown(2*float64(n), g*48, m)
+	in := seqBreakdown(float64(n)*10, m) // key codes + measure
+	b = b.Add(in)
+	b.CPUNanos = 2 * float64(n) * m.Cost.WScanBUN
+	return b
+}
+
+// orderByCost predicts a comparison sort of n keys of the given width.
+func orderByCost(n int, width int, m memsim.Machine) costmodel.Breakdown {
+	lg := math.Log2(float64(n) + 2)
+	b := randomBreakdown(float64(n)*lg/4, float64(n)*float64(width), m)
+	b.CPUNanos = float64(n) * lg * m.Cost.WScanBUN / 4
+	return b
+}

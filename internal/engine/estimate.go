@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"monetlite/internal/bat"
+	"monetlite/internal/dsm"
+)
+
+// samplePositions is the shared evenly-spaced probe set (≤1024
+// positions), so planner estimates are deterministic for a given
+// table and consistent with dsm's own output-size estimates.
+func samplePositions(n int) []int { return dsm.SamplePositions(n) }
+
+// estimateFraction estimates the fraction of rows a predicate selects
+// by probing evenly spaced sample positions. The result is clamped
+// away from exactly 0 so downstream cardinalities never collapse.
+func estimateFraction(c *dsm.Column, pred Predicate) float64 {
+	n := c.Vec.Len()
+	pos := samplePositions(n)
+	if len(pos) == 0 {
+		return 0
+	}
+	match := 0
+	switch p := pred.(type) {
+	case RangePred:
+		for _, i := range pos {
+			if v := c.Vec.Int(i); v >= p.Lo && v <= p.Hi {
+				match++
+			}
+		}
+	case EqStringPred:
+		if c.Enc != nil {
+			code, ok := c.Enc.Code(p.Value)
+			if !ok {
+				return 0
+			}
+			for _, i := range pos {
+				if dsm.CodeAt(c, i) == code {
+					match++
+				}
+			}
+		} else if sv, ok := c.Vec.(*bat.StrVec); ok {
+			for _, i := range pos {
+				if sv.Str(i) == p.Value {
+					match++
+				}
+			}
+		}
+	}
+	f := float64(match) / float64(len(pos))
+	if f < 0.5/float64(len(pos)) {
+		f = 0.5 / float64(len(pos))
+	}
+	return f
+}
+
+// estimateGroups estimates the number of distinct group keys. An
+// encoded column's dictionary gives the exact domain; otherwise the
+// sample's distinct count is used, saturating to the full cardinality
+// when every sampled value is distinct (a high-cardinality key).
+func estimateGroups(c *dsm.Column) float64 {
+	if c.Enc != nil {
+		return float64(len(c.Enc.Dict))
+	}
+	n := c.Vec.Len()
+	pos := samplePositions(n)
+	if len(pos) == 0 {
+		return 1
+	}
+	seen := make(map[int64]struct{}, len(pos))
+	for _, i := range pos {
+		seen[c.Vec.Int(i)] = struct{}{}
+	}
+	d := len(seen)
+	if d >= len(pos) {
+		return float64(n) // saturated sample: assume near-unique key
+	}
+	return float64(d)
+}

@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the physical operator tree with, per operator, the
+// chosen physical algorithm and its cost-model prediction, headed by
+// the plan-wide predicted total — what a Monet EXPLAIN armed with the
+// paper's cost models shows.
+func (p *PhysicalPlan) Explain() string {
+	var sb strings.Builder
+	total := p.Predicted()
+	fmt.Fprintf(&sb, "plan for %s  (predicted %.2f ms: %.2e L1, %.2e L2, %.2e TLB misses)\n",
+		p.cfg.Machine.Name, total.Millis(p.cfg.Machine),
+		total.L1Misses, total.L2Misses, total.TLBMisses)
+	explainOp(&sb, p, p.root, "", "")
+	return sb.String()
+}
+
+func explainOp(sb *strings.Builder, p *PhysicalPlan, op physOp, prefix, childPrefix string) {
+	sb.WriteString(prefix)
+	sb.WriteString(op.label())
+	if d := op.detail(); d != "" {
+		sb.WriteString(" ")
+		sb.WriteString(d)
+	}
+	if c := op.predicted(); c != (emptyBreakdown) {
+		fmt.Fprintf(sb, "  [pred %.2f ms]", c.Millis(p.cfg.Machine))
+	}
+	sb.WriteString("\n")
+	kids := op.kids()
+	for i, k := range kids {
+		last := i == len(kids)-1
+		if last {
+			explainOp(sb, p, k, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			explainOp(sb, p, k, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"fmt"
+
+	"monetlite/internal/bat"
+	"monetlite/internal/dsm"
+	"monetlite/internal/memsim"
+)
+
+// Shared column gathers: every engine operator that materializes a
+// column through a binding (join-column BATs, group keys, measure
+// operands) funnels through these. Like the dsm select fast paths, the
+// native (sim == nil) loops carry no per-element simulator plumbing —
+// no Touch interface calls, no per-row error checks — and read the
+// typed slices directly; instrumented loops mirror every access.
+
+// positions resolves the binding's row → storage-position mapping
+// once. A nil result means the identity mapping (unfiltered binding).
+func (b binding) positions() ([]int, error) {
+	if b.oids == nil {
+		return nil, nil
+	}
+	out := make([]int, len(b.oids))
+	for i, o := range b.oids {
+		p, ok := b.table.Head.Position(o)
+		if !ok {
+			return nil, fmt.Errorf("engine: OID %d outside table %s", o, b.table.Schema.Name)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// gatherInt64s materializes a numeric column's widened values through
+// the binding.
+func gatherInt64s(sim *memsim.Sim, b binding, c *dsm.Column) ([]int64, error) {
+	pos, err := b.positions()
+	if err != nil {
+		return nil, err
+	}
+	n := b.rows()
+	out := make([]int64, n)
+	if sim == nil {
+		switch v := c.Vec.(type) {
+		case *bat.I8Vec:
+			fillInts(out, v.V, pos)
+		case *bat.I16Vec:
+			fillInts(out, v.V, pos)
+		case *bat.I32Vec:
+			fillInts(out, v.V, pos)
+		case *bat.I64Vec:
+			fillInts(out, v.V, pos)
+		default:
+			for i := 0; i < n; i++ {
+				out[i] = c.Vec.Int(at(pos, i))
+			}
+		}
+		return out, nil
+	}
+	c.Vec.Bind(sim)
+	for i := 0; i < n; i++ {
+		p := at(pos, i)
+		c.Vec.Touch(sim, p)
+		out[i] = c.Vec.Int(p)
+	}
+	return out, nil
+}
+
+// gatherCodes materializes an encoded column's unsigned dictionary
+// codes through the binding.
+func gatherCodes(sim *memsim.Sim, b binding, c *dsm.Column) ([]int64, error) {
+	out, err := gatherInt64s(sim, b, c)
+	if err != nil {
+		return nil, err
+	}
+	// Undo the signed storage of the 1-/2-byte code vectors.
+	var wrap int64
+	switch c.Vec.Type() {
+	case bat.TI8:
+		wrap = 1 << 8
+	case bat.TI16:
+		wrap = 1 << 16
+	}
+	if wrap != 0 {
+		for i, v := range out {
+			if v < 0 {
+				out[i] = v + wrap
+			}
+		}
+	}
+	return out, nil
+}
+
+// gatherFloat64s materializes a numeric column as floats through the
+// binding (integer and date columns widen).
+func gatherFloat64s(sim *memsim.Sim, b binding, c *dsm.Column) ([]float64, error) {
+	pos, err := b.positions()
+	if err != nil {
+		return nil, err
+	}
+	n := b.rows()
+	out := make([]float64, n)
+	if sim == nil {
+		switch v := c.Vec.(type) {
+		case *bat.F64Vec:
+			if pos == nil {
+				copy(out, v.V)
+			} else {
+				for i, p := range pos {
+					out[i] = v.V[p]
+				}
+			}
+		case *bat.I8Vec:
+			fillFloats(out, v.V, pos)
+		case *bat.I16Vec:
+			fillFloats(out, v.V, pos)
+		case *bat.I32Vec:
+			fillFloats(out, v.V, pos)
+		case *bat.I64Vec:
+			fillFloats(out, v.V, pos)
+		default:
+			for i := 0; i < n; i++ {
+				out[i] = float64(c.Vec.Int(at(pos, i)))
+			}
+		}
+		return out, nil
+	}
+	c.Vec.Bind(sim)
+	fv, isFloat := c.Vec.(*bat.F64Vec)
+	for i := 0; i < n; i++ {
+		p := at(pos, i)
+		c.Vec.Touch(sim, p)
+		if isFloat {
+			out[i] = fv.Float(p)
+		} else {
+			out[i] = float64(c.Vec.Int(p))
+		}
+	}
+	return out, nil
+}
+
+// at maps row i through an optional position list.
+func at(pos []int, i int) int {
+	if pos == nil {
+		return i
+	}
+	return pos[i]
+}
+
+// fillInts widens one typed slice through an optional position list.
+func fillInts[T int8 | int16 | int32 | int64](dst []int64, src []T, pos []int) {
+	if pos == nil {
+		for i := range dst {
+			dst[i] = int64(src[i])
+		}
+		return
+	}
+	for i, p := range pos {
+		dst[i] = int64(src[p])
+	}
+}
+
+// fillFloats converts one typed integer slice through an optional
+// position list.
+func fillFloats[T int8 | int16 | int32 | int64](dst []float64, src []T, pos []int) {
+	if pos == nil {
+		for i := range dst {
+			dst[i] = float64(src[i])
+		}
+		return
+	}
+	for i, p := range pos {
+		dst[i] = float64(src[p])
+	}
+}

@@ -1,0 +1,953 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"monetlite/internal/agg"
+	"monetlite/internal/bat"
+	"monetlite/internal/core"
+	"monetlite/internal/costmodel"
+	"monetlite/internal/dsm"
+	"monetlite/internal/memsim"
+	"monetlite/internal/sel"
+)
+
+// ---------------------------------------------------------------------
+// Intermediates: the MIL execution model materializes one BAT-algebra
+// operator at a time. Before any projection or aggregation, the
+// intermediate is table-backed: a set of aligned (table, OID-list)
+// bindings — after a join, one binding per joined table, all the same
+// length. Afterwards it is a materialized relation (Rel).
+
+// binding is one table's contribution to a table-backed intermediate.
+// A nil OID list means "all rows in storage order".
+type binding struct {
+	table *dsm.Table
+	oids  []bat.Oid
+}
+
+// rows returns the binding's cardinality.
+func (b binding) rows() int {
+	if b.oids != nil {
+		return len(b.oids)
+	}
+	return b.table.N
+}
+
+// pos returns the storage position of row i.
+func (b binding) pos(i int) (int, error) {
+	if b.oids == nil {
+		return i, nil
+	}
+	p, ok := b.table.Head.Position(b.oids[i])
+	if !ok {
+		return 0, fmt.Errorf("engine: OID %d outside table %s", b.oids[i], b.table.Schema.Name)
+	}
+	return p, nil
+}
+
+// rowOid returns the table OID of row i.
+func (b binding) rowOid(i int) bat.Oid {
+	if b.oids == nil {
+		return b.table.Head.Seq + bat.Oid(i)
+	}
+	return b.oids[i]
+}
+
+// Kind is the value kind of a materialized column.
+type Kind uint8
+
+// Materialized column kinds.
+const (
+	KInt Kind = iota
+	KFloat
+	KString
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KInt:
+		return "int"
+	case KFloat:
+		return "float"
+	case KString:
+		return "string"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// RelCol is one materialized column: exactly one of the value slices
+// is populated, matching Kind.
+type RelCol struct {
+	Name   string
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+}
+
+// Rel is a fully materialized result relation.
+type Rel struct {
+	Cols []RelCol
+	N    int
+}
+
+// Col returns the index of a named column, or -1.
+func (r *Rel) Col(name string) int {
+	for i := range r.Cols {
+		if r.Cols[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// fragment is the intermediate flowing between physical operators.
+type fragment struct {
+	binds []binding // table-backed form
+	rel   *Rel      // materialized form (binds is nil)
+}
+
+func (f *fragment) rows() int {
+	if f.rel != nil {
+		return f.rel.N
+	}
+	if len(f.binds) == 0 {
+		return 0
+	}
+	return f.binds[0].rows()
+}
+
+// execCtx carries the run-wide execution state.
+type execCtx struct {
+	sim     *memsim.Sim
+	machine memsim.Machine
+	opt     core.Options
+}
+
+// physOp is one physical operator of a lowered plan.
+type physOp interface {
+	exec(ctx *execCtx) (*fragment, error)
+	// label is the operator name with its chosen physical algorithm,
+	// e.g. "Select[csstree]".
+	label() string
+	// detail describes the operator's arguments and estimates.
+	detail() string
+	kids() []physOp
+	// predicted is this operator's own cost-model prediction (zero for
+	// operators the model does not cover).
+	predicted() costmodel.Breakdown
+}
+
+// ---------------------------------------------------------------------
+// Scan.
+
+type scanOp struct {
+	t *dsm.Table
+}
+
+func (o *scanOp) exec(*execCtx) (*fragment, error) {
+	return &fragment{binds: []binding{{table: o.t}}}, nil
+}
+
+func (o *scanOp) label() string                  { return "Scan" }
+func (o *scanOp) detail() string                 { return fmt.Sprintf("%s (%d rows)", o.t.Schema.Name, o.t.N) }
+func (o *scanOp) kids() []physOp                 { return nil }
+func (o *scanOp) predicted() costmodel.Breakdown { return costmodel.Breakdown{} }
+
+// ---------------------------------------------------------------------
+// Select: scan-select access path.
+
+type selectScanOp struct {
+	in   physOp
+	col  *dsm.Column
+	pred Predicate
+	est  float64 // estimated selected fraction
+	cost costmodel.Breakdown
+}
+
+func (o *selectScanOp) exec(ctx *execCtx) (*fragment, error) {
+	in, err := o.in.exec(ctx)
+	if err != nil {
+		return nil, err
+	}
+	b := in.binds[0]
+	oids, err := scanSelect(ctx.sim, b.table, o.pred)
+	if err != nil {
+		return nil, err
+	}
+	return &fragment{binds: []binding{{table: b.table, oids: nonNil(oids)}}}, nil
+}
+
+// nonNil normalizes an empty selection result: a nil OID list in a
+// binding means "all rows", so selections must never produce one.
+func nonNil(oids []bat.Oid) []bat.Oid {
+	if oids == nil {
+		return []bat.Oid{}
+	}
+	return oids
+}
+
+func (o *selectScanOp) label() string { return "Select[scan]" }
+func (o *selectScanOp) detail() string {
+	return fmt.Sprintf("%s  sel~%.2f%%", o.pred, o.est*100)
+}
+func (o *selectScanOp) kids() []physOp                 { return []physOp{o.in} }
+func (o *selectScanOp) predicted() costmodel.Breakdown { return o.cost }
+
+// scanSelect runs a full-column scan select over a base table column.
+func scanSelect(sim *memsim.Sim, t *dsm.Table, pred Predicate) ([]bat.Oid, error) {
+	switch p := pred.(type) {
+	case RangePred:
+		return t.SelectRange(sim, p.Col, p.Lo, p.Hi)
+	case EqStringPred:
+		return t.SelectString(sim, p.Col, p.Value)
+	}
+	return nil, fmt.Errorf("engine: unsupported predicate %T", pred)
+}
+
+// ---------------------------------------------------------------------
+// Select: CSS-tree access path (§3.2, [Ron98]).
+
+type selectCSSOp struct {
+	in   physOp
+	col  *dsm.Column
+	pred RangePred
+	est  float64
+	cost costmodel.Breakdown
+}
+
+func (o *selectCSSOp) exec(ctx *execCtx) (*fragment, error) {
+	in, err := o.in.exec(ctx)
+	if err != nil {
+		return nil, err
+	}
+	b := in.binds[0]
+	// A range entirely outside the int32 domain (or inverted) matches
+	// nothing; clamping alone would saturate the bounds onto real
+	// MinInt32/MaxInt32 values.
+	if o.pred.Lo > o.pred.Hi || o.pred.Lo > 1<<31-1 || o.pred.Hi < -1<<31 {
+		return &fragment{binds: []binding{{table: b.table, oids: []bat.Oid{}}}}, nil
+	}
+	tree, err := cssTreeFor(ctx.sim, o.col)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := clampI32(o.pred.Lo), clampI32(o.pred.Hi)
+	oids := tree.RangeSelect(ctx.sim, lo, hi)
+	// The tree returns OIDs in value order; restore storage order so the
+	// result is byte-identical to the scan access path.
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	return &fragment{binds: []binding{{table: b.table, oids: nonNil(oids)}}}, nil
+}
+
+func (o *selectCSSOp) label() string { return "Select[csstree]" }
+func (o *selectCSSOp) detail() string {
+	return fmt.Sprintf("%s  sel~%.2f%%", o.pred, o.est*100)
+}
+func (o *selectCSSOp) kids() []physOp                 { return []physOp{o.in} }
+func (o *selectCSSOp) predicted() costmodel.Breakdown { return o.cost }
+
+func clampI32(v int64) int32 {
+	if v < -1<<31 {
+		return -1 << 31
+	}
+	if v > 1<<31-1 {
+		return 1<<31 - 1
+	}
+	return int32(v)
+}
+
+// cssIndexes is a column's cached CSS-trees, living on the column
+// itself (immutable; freed with the table). The native tree is shared
+// by all uninstrumented runs. The instrumented slot holds the tree of
+// the most recent sim only — a tree's simulated addresses belong to
+// the sim that allocated them, and a single slot keeps harnesses that
+// churn through fresh sims from pinning every dead simulator. The
+// first instrumented use per sim charges the build to that sim (the
+// index-creation cost); later runs on the same sim probe the amortized
+// index, which is what the planner's cssSelectCost assumes.
+type cssIndexes struct {
+	mu      sync.Mutex
+	native  *sel.CSSTree
+	sim     *memsim.Sim
+	simTree *sel.CSSTree
+}
+
+// cssTreeFor returns the CSS-tree over a column for the given sim.
+func cssTreeFor(sim *memsim.Sim, c *dsm.Column) (*sel.CSSTree, error) {
+	v, err := c.IndexCache(func() (any, error) { return &cssIndexes{}, nil })
+	if err != nil {
+		return nil, err
+	}
+	ix, ok := v.(*cssIndexes)
+	if !ok {
+		return nil, fmt.Errorf("engine: column %q has a foreign cached index %T", c.Def.Name, v)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if sim == nil && ix.native != nil {
+		return ix.native, nil
+	}
+	if sim != nil && ix.sim == sim {
+		return ix.simTree, nil
+	}
+	vals, err := columnI32(c)
+	if err != nil {
+		return nil, err
+	}
+	t := sel.BuildCSSTree(sim, sel.NewColumn(vals))
+	if sim == nil {
+		ix.native = t
+	} else {
+		ix.sim, ix.simTree = sim, t
+	}
+	return t, nil
+}
+
+// columnI32 copies an integer column into the int32 domain the sel
+// package indexes.
+func columnI32(c *dsm.Column) ([]int32, error) {
+	n := c.Vec.Len()
+	out := make([]int32, n)
+	switch v := c.Vec.(type) {
+	case *bat.I8Vec:
+		for i, x := range v.V {
+			out[i] = int32(x)
+		}
+	case *bat.I16Vec:
+		for i, x := range v.V {
+			out[i] = int32(x)
+		}
+	case *bat.I32Vec:
+		copy(out, v.V)
+	default:
+		return nil, fmt.Errorf("engine: column type %v not int32-indexable", c.Vec.Type())
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Select: refilter (a predicate above an already-filtered or joined
+// intermediate — a positional gather plus test).
+
+type refilterOp struct {
+	in      physOp
+	bindIdx int
+	col     *dsm.Column
+	pred    Predicate
+	est     float64
+	cost    costmodel.Breakdown
+}
+
+func (o *refilterOp) exec(ctx *execCtx) (*fragment, error) {
+	in, err := o.in.exec(ctx)
+	if err != nil {
+		return nil, err
+	}
+	b := in.binds[o.bindIdx]
+	n := b.rows()
+	keep := make([]bool, n)
+	c := o.col
+
+	kept := 0
+	mark := func(i int) {
+		keep[i] = true
+		kept++
+	}
+	switch p := o.pred.(type) {
+	case RangePred:
+		vals, err := gatherInt64s(ctx.sim, b, c)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range vals {
+			if v >= p.Lo && v <= p.Hi {
+				mark(i)
+			}
+		}
+	case EqStringPred:
+		switch {
+		case c.Enc != nil:
+			code, ok := c.Enc.Code(p.Value)
+			if ok {
+				codes, err := gatherCodes(ctx.sim, b, c)
+				if err != nil {
+					return nil, err
+				}
+				for i, v := range codes {
+					if v == code {
+						mark(i)
+					}
+				}
+			}
+		default:
+			sv, ok := c.Vec.(*bat.StrVec)
+			if !ok {
+				return nil, fmt.Errorf("engine: column %q is not a string column", p.Col)
+			}
+			sv.Bind(ctx.sim)
+			for i := 0; i < n; i++ {
+				pos, err := b.pos(i)
+				if err != nil {
+					return nil, err
+				}
+				sv.Touch(ctx.sim, pos)
+				if sv.Str(pos) == p.Value {
+					mark(i)
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("engine: unsupported predicate %T", o.pred)
+	}
+	if ctx.sim != nil {
+		ctx.sim.AddCPU(n, ctx.machine.Cost.WScanBUN/4)
+	}
+	out := &fragment{binds: make([]binding, len(in.binds))}
+	for bi, ib := range in.binds {
+		oids := make([]bat.Oid, 0, kept)
+		for i := 0; i < n; i++ {
+			if keep[i] {
+				oids = append(oids, ib.rowOid(i))
+			}
+		}
+		out.binds[bi] = binding{table: ib.table, oids: oids}
+	}
+	return out, nil
+}
+
+func (o *refilterOp) label() string { return "Select[refilter]" }
+func (o *refilterOp) detail() string {
+	return fmt.Sprintf("%s  sel~%.2f%%", o.pred, o.est*100)
+}
+func (o *refilterOp) kids() []physOp                 { return []physOp{o.in} }
+func (o *refilterOp) predicted() costmodel.Breakdown { return o.cost }
+
+// ---------------------------------------------------------------------
+// Join.
+
+type joinOp struct {
+	left, right         physOp
+	leftIdx, rightIdx   int // binding index owning the join column
+	leftCol, rightCol   *dsm.Column
+	leftName, rightName string
+	plan                core.Plan
+	card                int // planned cardinality (max of the estimates)
+	cost                costmodel.Breakdown
+}
+
+func (o *joinOp) exec(ctx *execCtx) (*fragment, error) {
+	lf, err := o.left.exec(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := o.right.exec(ctx)
+	if err != nil {
+		return nil, err
+	}
+	l, err := materializeJoinColumn(ctx.sim, lf.binds[o.leftIdx], o.leftCol, o.leftName)
+	if err != nil {
+		return nil, err
+	}
+	r, err := materializeJoinColumn(ctx.sim, rf.binds[o.rightIdx], o.rightCol, o.rightName)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := core.ExecuteOpts(ctx.sim, l, r, o.plan, nil, ctx.opt)
+	if err != nil {
+		return nil, err
+	}
+	out := &fragment{binds: make([]binding, 0, len(lf.binds)+len(rf.binds))}
+	for _, b := range lf.binds {
+		nb, err := remapBinding(b, idx, true)
+		if err != nil {
+			return nil, err
+		}
+		out.binds = append(out.binds, nb)
+	}
+	for _, b := range rf.binds {
+		nb, err := remapBinding(b, idx, false)
+		if err != nil {
+			return nil, err
+		}
+		out.binds = append(out.binds, nb)
+	}
+	return out, nil
+}
+
+func (o *joinOp) label() string { return fmt.Sprintf("Join[%s]", o.plan) }
+func (o *joinOp) detail() string {
+	return fmt.Sprintf("%s = %s  card~%d", o.leftName, o.rightName, o.card)
+}
+func (o *joinOp) kids() []physOp                 { return []physOp{o.left, o.right} }
+func (o *joinOp) predicted() costmodel.Breakdown { return o.cost }
+
+// materializeJoinColumn builds the [row, value] BAT feeding the join
+// kernels: heads are row indices into the intermediate (not table
+// OIDs), tails the gathered column values, which must fit uint32.
+func materializeJoinColumn(sim *memsim.Sim, b binding, c *dsm.Column, name string) (*bat.Pairs, error) {
+	switch c.Def.Type {
+	case dsm.LInt, dsm.LDate:
+	default:
+		return nil, fmt.Errorf("engine: join column %s is %v, want int/date", name, c.Def.Type)
+	}
+	if c.Enc != nil {
+		return nil, fmt.Errorf("engine: join column %s is dictionary-encoded", name)
+	}
+	vals, err := gatherInt64s(sim, b, c)
+	if err != nil {
+		return nil, err
+	}
+	pairs := bat.NewPairs(len(vals))
+	pairs.Bind(sim)
+	for i, v := range vals {
+		if v < 0 || v > 1<<32-1 {
+			return nil, fmt.Errorf("engine: join value %d of %s outside uint32", v, name)
+		}
+		if sim != nil {
+			sim.Write(pairs.Addr(i), bat.PairSize)
+		}
+		pairs.BUNs[i] = bat.Pair{Head: bat.Oid(i), Tail: uint32(v)}
+	}
+	return pairs, nil
+}
+
+// remapBinding routes a pre-join binding through the join index: the
+// index heads (left) or tails (right) are row indices into the old
+// intermediate.
+func remapBinding(b binding, idx *core.JoinIndex, left bool) (binding, error) {
+	oids := make([]bat.Oid, idx.Len())
+	for i, bun := range idx.BUNs {
+		row := int(bun.Tail)
+		if left {
+			row = int(bun.Head)
+		}
+		if row < 0 || row >= b.rows() {
+			return binding{}, fmt.Errorf("engine: join row %d outside intermediate", row)
+		}
+		oids[i] = b.rowOid(row)
+	}
+	return binding{table: b.table, oids: oids}, nil
+}
+
+// ---------------------------------------------------------------------
+// GroupAggregate.
+
+type groupAggOp struct {
+	in        physOp
+	bindIdx   int
+	keyCol    *dsm.Column
+	keyName   string
+	measure   Expr    // bound: ColExprs rewritten to operand indices
+	measStr   string  // display form
+	operands  []opCol // gathered operand columns, in bind order
+	useSort   bool    // sort/merge grouping instead of hash (§3.2)
+	estGroups float64
+	cost      costmodel.Breakdown
+}
+
+// opCol is one gathered numeric operand of the measure expression.
+type opCol struct {
+	bindIdx int
+	col     *dsm.Column
+	name    string
+}
+
+func (o *groupAggOp) exec(ctx *execCtx) (*fragment, error) {
+	in, err := o.in.exec(ctx)
+	if err != nil {
+		return nil, err
+	}
+	n := in.rows()
+
+	// Materialize the group-key code column (MIL-style temporary BAT).
+	kb := in.binds[o.bindIdx]
+	gatherKeys := gatherInt64s
+	if o.keyCol.Enc != nil {
+		gatherKeys = gatherCodes
+	}
+	keys, err := gatherKeys(ctx.sim, kb, o.keyCol)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialize each measure operand, then evaluate the expression.
+	cols := make([][]float64, len(o.operands))
+	for ci, op := range o.operands {
+		vals, err := gatherFloat64s(ctx.sim, in.binds[op.bindIdx], op.col)
+		if err != nil {
+			return nil, err
+		}
+		cols[ci] = vals
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = o.measure.eval(cols, i)
+	}
+	if ctx.sim != nil {
+		ctx.sim.AddCPU(n*(1+len(o.operands)), ctx.machine.Cost.WScanBUN/4)
+	}
+
+	group := agg.HashGroup
+	if o.useSort {
+		group = agg.SortGroup
+	}
+	res, err := group(ctx.sim, dsm.ShrinkInts(keys), bat.NewF64(vals))
+	if err != nil {
+		return nil, err
+	}
+	sorted := res.Sorted()
+	g := sorted.Groups()
+
+	keyRC := RelCol{Name: o.keyName}
+	if o.keyCol.Enc != nil {
+		keyRC.Kind = KString
+		keyRC.Strs = make([]string, g)
+		for i := 0; i < g; i++ {
+			keyRC.Strs[i] = o.keyCol.Enc.Decode(sorted.Key[i])
+		}
+	} else {
+		keyRC.Kind = KInt
+		keyRC.Ints = sorted.Key
+	}
+	rel := &Rel{N: g, Cols: []RelCol{
+		keyRC,
+		{Name: "count", Kind: KInt, Ints: sorted.Count},
+		{Name: "sum", Kind: KFloat, Floats: sorted.Sum},
+		{Name: "min", Kind: KFloat, Floats: sorted.Min},
+		{Name: "max", Kind: KFloat, Floats: sorted.Max},
+	}}
+	return &fragment{rel: rel}, nil
+}
+
+func (o *groupAggOp) label() string {
+	if o.useSort {
+		return "GroupAggregate[sort]"
+	}
+	return "GroupAggregate[hash]"
+}
+
+func (o *groupAggOp) detail() string {
+	return fmt.Sprintf("key=%s measure=%s  groups~%.0f", o.keyName, o.measStr, o.estGroups)
+}
+func (o *groupAggOp) kids() []physOp                 { return []physOp{o.in} }
+func (o *groupAggOp) predicted() costmodel.Breakdown { return o.cost }
+
+// ---------------------------------------------------------------------
+// Project: materialize named columns (the final tuple reconstruction —
+// positional void joins, §3.1).
+
+type projectOp struct {
+	in   physOp
+	cols []projCol
+	cost costmodel.Breakdown
+}
+
+// projCol is one output column: either a table-backed gather or a
+// pass-through of a materialized column.
+type projCol struct {
+	name    string
+	bindIdx int
+	col     *dsm.Column // table-backed form
+	relIdx  int         // materialized form (col == nil)
+}
+
+func (o *projectOp) exec(ctx *execCtx) (*fragment, error) {
+	in, err := o.in.exec(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if in.rel != nil {
+		out := &Rel{N: in.rel.N, Cols: make([]RelCol, len(o.cols))}
+		for i, pc := range o.cols {
+			out.Cols[i] = in.rel.Cols[pc.relIdx]
+		}
+		return &fragment{rel: out}, nil
+	}
+	rel, err := materializeColumns(ctx, in, o.cols)
+	if err != nil {
+		return nil, err
+	}
+	return &fragment{rel: rel}, nil
+}
+
+func (o *projectOp) label() string { return "Project" }
+func (o *projectOp) detail() string {
+	names := make([]string, len(o.cols))
+	for i, c := range o.cols {
+		names[i] = c.name
+	}
+	return describeCols(names)
+}
+func (o *projectOp) kids() []physOp                 { return []physOp{o.in} }
+func (o *projectOp) predicted() costmodel.Breakdown { return o.cost }
+
+// materializeColumns gathers the given table-backed columns into a Rel
+// — one positional reconstruction join per column.
+func materializeColumns(ctx *execCtx, in *fragment, cols []projCol) (*Rel, error) {
+	n := in.rows()
+	rel := &Rel{N: n, Cols: make([]RelCol, len(cols))}
+	for i, pc := range cols {
+		b := in.binds[pc.bindIdx]
+		c := pc.col
+		c.Vec.Bind(ctx.sim)
+		rc := RelCol{Name: pc.name}
+		switch {
+		case c.Enc != nil:
+			rc.Kind = KString
+			rc.Strs = make([]string, n)
+			for j := 0; j < n; j++ {
+				pos, err := b.pos(j)
+				if err != nil {
+					return nil, err
+				}
+				c.Vec.Touch(ctx.sim, pos)
+				rc.Strs[j] = c.Enc.Decode(c.Vec.Int(pos))
+			}
+		case c.Def.Type == dsm.LString:
+			sv, ok := c.Vec.(*bat.StrVec)
+			if !ok {
+				return nil, fmt.Errorf("engine: column %q is not a string column", pc.name)
+			}
+			rc.Kind = KString
+			rc.Strs = make([]string, n)
+			for j := 0; j < n; j++ {
+				pos, err := b.pos(j)
+				if err != nil {
+					return nil, err
+				}
+				sv.Touch(ctx.sim, pos)
+				rc.Strs[j] = sv.Str(pos)
+			}
+		case c.Def.Type == dsm.LFloat:
+			fv, ok := c.Vec.(*bat.F64Vec)
+			if !ok {
+				return nil, fmt.Errorf("engine: column %q is not a float column", pc.name)
+			}
+			rc.Kind = KFloat
+			rc.Floats = make([]float64, n)
+			for j := 0; j < n; j++ {
+				pos, err := b.pos(j)
+				if err != nil {
+					return nil, err
+				}
+				fv.Touch(ctx.sim, pos)
+				rc.Floats[j] = fv.Float(pos)
+			}
+		default:
+			rc.Kind = KInt
+			rc.Ints = make([]int64, n)
+			for j := 0; j < n; j++ {
+				pos, err := b.pos(j)
+				if err != nil {
+					return nil, err
+				}
+				c.Vec.Touch(ctx.sim, pos)
+				rc.Ints[j] = c.Vec.Int(pos)
+			}
+		}
+		rel.Cols[i] = rc
+	}
+	if ctx.sim != nil {
+		ctx.sim.AddCPU(n*len(cols), ctx.machine.Cost.WScanBUN/4)
+	}
+	return rel, nil
+}
+
+// ---------------------------------------------------------------------
+// OrderBy.
+
+type orderByOp struct {
+	in      physOp
+	colName string
+	desc    bool
+	// table-backed form:
+	bindIdx int
+	col     *dsm.Column
+	// materialized form (col == nil):
+	relIdx int
+	cost   costmodel.Breakdown
+}
+
+func (o *orderByOp) exec(ctx *execCtx) (*fragment, error) {
+	in, err := o.in.exec(ctx)
+	if err != nil {
+		return nil, err
+	}
+	n := in.rows()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var less func(a, b int) bool
+	if in.rel != nil {
+		rc := &in.rel.Cols[o.relIdx]
+		switch rc.Kind {
+		case KInt:
+			less = func(a, b int) bool { return rc.Ints[a] < rc.Ints[b] }
+		case KFloat:
+			less = func(a, b int) bool { return rc.Floats[a] < rc.Floats[b] }
+		default:
+			less = func(a, b int) bool { return rc.Strs[a] < rc.Strs[b] }
+		}
+	} else {
+		b := in.binds[o.bindIdx]
+		keys, err := gatherSortKeys(ctx, b, o.col, o.colName, n)
+		if err != nil {
+			return nil, err
+		}
+		less = keys.less
+	}
+	if o.desc {
+		inner := less
+		less = func(a, b int) bool { return inner(b, a) }
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+	if ctx.sim != nil {
+		// Charge the comparison sort: n·log2(n) key comparisons.
+		lg := 0
+		for v := n; v > 1; v >>= 1 {
+			lg++
+		}
+		ctx.sim.AddCPU(n*lg, ctx.machine.Cost.WScanBUN/4)
+	}
+	return permute(in, idx), nil
+}
+
+// sortKeys holds one gathered sort-key column.
+type sortKeys struct {
+	ints []int64
+	flts []float64
+	strs []string
+}
+
+func (k *sortKeys) less(a, b int) bool {
+	switch {
+	case k.ints != nil:
+		return k.ints[a] < k.ints[b]
+	case k.flts != nil:
+		return k.flts[a] < k.flts[b]
+	default:
+		return k.strs[a] < k.strs[b]
+	}
+}
+
+func gatherSortKeys(ctx *execCtx, b binding, c *dsm.Column, name string, n int) (*sortKeys, error) {
+	c.Vec.Bind(ctx.sim)
+	out := &sortKeys{}
+	switch {
+	case c.Enc != nil:
+		out.strs = make([]string, n)
+	case c.Def.Type == dsm.LString:
+		out.strs = make([]string, n)
+	case c.Def.Type == dsm.LFloat:
+		out.flts = make([]float64, n)
+	default:
+		out.ints = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		pos, err := b.pos(i)
+		if err != nil {
+			return nil, err
+		}
+		c.Vec.Touch(ctx.sim, pos)
+		switch {
+		case c.Enc != nil:
+			out.strs[i] = c.Enc.Decode(c.Vec.Int(pos))
+		case out.strs != nil:
+			sv, ok := c.Vec.(*bat.StrVec)
+			if !ok {
+				return nil, fmt.Errorf("engine: column %q is not a string column", name)
+			}
+			out.strs[i] = sv.Str(pos)
+		case out.flts != nil:
+			out.flts[i] = c.Vec.(*bat.F64Vec).Float(pos)
+		default:
+			out.ints[i] = c.Vec.Int(pos)
+		}
+	}
+	return out, nil
+}
+
+// permute reorders a fragment by row indices (also used by Limit with
+// a prefix).
+func permute(in *fragment, idx []int) *fragment {
+	if in.rel != nil {
+		out := &Rel{N: len(idx), Cols: make([]RelCol, len(in.rel.Cols))}
+		for ci := range in.rel.Cols {
+			src := &in.rel.Cols[ci]
+			dst := RelCol{Name: src.Name, Kind: src.Kind}
+			switch src.Kind {
+			case KInt:
+				dst.Ints = make([]int64, len(idx))
+				for i, j := range idx {
+					dst.Ints[i] = src.Ints[j]
+				}
+			case KFloat:
+				dst.Floats = make([]float64, len(idx))
+				for i, j := range idx {
+					dst.Floats[i] = src.Floats[j]
+				}
+			default:
+				dst.Strs = make([]string, len(idx))
+				for i, j := range idx {
+					dst.Strs[i] = src.Strs[j]
+				}
+			}
+			out.Cols[ci] = dst
+		}
+		return &fragment{rel: out}
+	}
+	out := &fragment{binds: make([]binding, len(in.binds))}
+	for bi, b := range in.binds {
+		oids := make([]bat.Oid, len(idx))
+		for i, j := range idx {
+			oids[i] = b.rowOid(j)
+		}
+		out.binds[bi] = binding{table: b.table, oids: oids}
+	}
+	return out
+}
+
+func (o *orderByOp) label() string { return "OrderBy" }
+func (o *orderByOp) detail() string {
+	dir := "asc"
+	if o.desc {
+		dir = "desc"
+	}
+	return fmt.Sprintf("%s %s", o.colName, dir)
+}
+func (o *orderByOp) kids() []physOp                 { return []physOp{o.in} }
+func (o *orderByOp) predicted() costmodel.Breakdown { return o.cost }
+
+// ---------------------------------------------------------------------
+// Limit.
+
+type limitOp struct {
+	in physOp
+	n  int
+}
+
+func (o *limitOp) exec(ctx *execCtx) (*fragment, error) {
+	in, err := o.in.exec(ctx)
+	if err != nil {
+		return nil, err
+	}
+	n := in.rows()
+	if o.n < n {
+		n = o.n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return permute(in, idx), nil
+}
+
+func (o *limitOp) label() string                  { return "Limit" }
+func (o *limitOp) detail() string                 { return fmt.Sprintf("%d", o.n) }
+func (o *limitOp) kids() []physOp                 { return []physOp{o.in} }
+func (o *limitOp) predicted() costmodel.Breakdown { return costmodel.Breakdown{} }

@@ -1,0 +1,506 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"monetlite/internal/bat"
+	"monetlite/internal/core"
+	"monetlite/internal/costmodel"
+	"monetlite/internal/dsm"
+	"monetlite/internal/memsim"
+)
+
+// Config configures planning and execution.
+type Config struct {
+	// Machine is the profile whose cost models drive physical choices
+	// (and whose simulator instruments Run, when given one). The zero
+	// value means the Origin2000, the paper's experimental platform.
+	Machine memsim.Machine
+	// Opt tunes the native parallel execution engine for the join
+	// phase. Instrumented runs are always serial (single-CPU sim).
+	Opt core.Options
+}
+
+func (c Config) machine() memsim.Machine {
+	if c.Machine.Name == "" {
+		return memsim.Origin2000()
+	}
+	return c.Machine
+}
+
+// PhysicalPlan is a lowered, executable plan.
+type PhysicalPlan struct {
+	root physOp
+	cfg  Config
+}
+
+// Plan lowers a logical DAG into a physical operator tree, consulting
+// the cost models for every physical choice (see package doc).
+func Plan(root Node, cfg Config) (*PhysicalPlan, error) {
+	cfg.Machine = cfg.machine()
+	op, _, err := lower(root, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PhysicalPlan{root: op, cfg: cfg}, nil
+}
+
+// Predicted sums the cost-model predictions of every operator.
+func (p *PhysicalPlan) Predicted() costmodel.Breakdown {
+	var sum costmodel.Breakdown
+	var walk func(op physOp)
+	walk = func(op physOp) {
+		sum = sum.Add(op.predicted())
+		for _, k := range op.kids() {
+			walk(k)
+		}
+	}
+	walk(p.root)
+	return sum
+}
+
+// Machine returns the machine profile the plan was costed for.
+func (p *PhysicalPlan) Machine() memsim.Machine { return p.cfg.Machine }
+
+// Run executes the plan MIL-style: one fully materialized BAT-algebra
+// operator at a time. Pass a nil sim to run natively (parallel join
+// phase available via Config.Opt), or a simulator of the plan's
+// machine to obtain exact L1/L2/TLB miss counts — predicted vs
+// simulated cost, side by side.
+func (p *PhysicalPlan) Run(sim *memsim.Sim) (*Result, error) {
+	ctx := &execCtx{sim: sim, machine: p.cfg.Machine, opt: p.cfg.Opt}
+	if sim != nil {
+		ctx.opt = core.Serial()
+	}
+	frag, err := p.root.exec(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if frag.rel == nil {
+		// No explicit projection: reconstruct every column of every
+		// bound table (names table-qualified on collision).
+		cols, err := defaultProjection(frag.binds)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := materializeColumns(ctx, frag, cols)
+		if err != nil {
+			return nil, err
+		}
+		frag = &fragment{rel: rel}
+	}
+	return &Result{Rel: frag.rel}, nil
+}
+
+// defaultProjection lists every column of every binding, qualifying
+// names that appear in more than one table.
+func defaultProjection(binds []binding) ([]projCol, error) {
+	count := map[string]int{}
+	for _, b := range binds {
+		for _, cd := range b.table.Schema.Cols {
+			count[cd.Name]++
+		}
+	}
+	var out []projCol
+	for bi, b := range binds {
+		for _, cd := range b.table.Schema.Cols {
+			name := cd.Name
+			if count[cd.Name] > 1 {
+				name = b.table.Schema.Name + "." + cd.Name
+			}
+			c, err := b.table.Column(cd.Name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, projCol{name: name, bindIdx: bi, col: c})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Plan-time shapes.
+
+// shape is the planner's knowledge of an operator's output: either a
+// set of bound tables (table-backed) or materialized columns, plus the
+// estimated cardinality.
+type shape struct {
+	tables []*dsm.Table
+	mat    []matCol
+	rows   float64
+}
+
+type matCol struct {
+	name string
+	kind Kind
+}
+
+func (s *shape) materialized() bool { return s.tables == nil }
+
+// resolve finds a named column among the bound tables. Qualified
+// "table.col" names disambiguate; unqualified names must be unique.
+func (s *shape) resolve(name string) (int, *dsm.Column, error) {
+	if tbl, col, ok := strings.Cut(name, "."); ok {
+		for i, t := range s.tables {
+			if t.Schema.Name == tbl {
+				c, err := t.Column(col)
+				if err != nil {
+					return 0, nil, err
+				}
+				return i, c, nil
+			}
+		}
+		return 0, nil, fmt.Errorf("engine: no table %q in scope", tbl)
+	}
+	found := -1
+	var fc *dsm.Column
+	for i, t := range s.tables {
+		if c, err := t.Column(name); err == nil {
+			if found >= 0 {
+				return 0, nil, fmt.Errorf("engine: column %q is ambiguous; qualify as table.%s", name, name)
+			}
+			found, fc = i, c
+		}
+	}
+	if found < 0 {
+		return 0, nil, fmt.Errorf("engine: no column %q in scope", name)
+	}
+	return found, fc, nil
+}
+
+// resolveMat finds a named materialized column.
+func (s *shape) resolveMat(name string) (int, error) {
+	for i, c := range s.mat {
+		if c.name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: no column %q in materialized result", name)
+}
+
+// ---------------------------------------------------------------------
+// Lowering.
+
+func lower(n Node, cfg Config) (physOp, *shape, error) {
+	m := cfg.Machine
+	switch x := n.(type) {
+	case *ScanNode:
+		if x.Table == nil {
+			return nil, nil, fmt.Errorf("engine: Scan of nil table")
+		}
+		return &scanOp{t: x.Table},
+			&shape{tables: []*dsm.Table{x.Table}, rows: float64(x.Table.N)}, nil
+
+	case *SelectNode:
+		return lowerSelect(x, cfg)
+
+	case *JoinNode:
+		return lowerJoin(x, cfg)
+
+	case *GroupAggNode:
+		return lowerGroupAgg(x, cfg)
+
+	case *ProjectNode:
+		in, s, err := lower(x.Input, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		op := &projectOp{in: in}
+		out := &shape{rows: s.rows}
+		for _, name := range x.Cols {
+			if s.materialized() {
+				i, err := s.resolveMat(name)
+				if err != nil {
+					return nil, nil, err
+				}
+				op.cols = append(op.cols, projCol{name: name, relIdx: i})
+				out.mat = append(out.mat, s.mat[i])
+			} else {
+				bi, c, err := s.resolve(name)
+				if err != nil {
+					return nil, nil, err
+				}
+				op.cols = append(op.cols, projCol{name: name, bindIdx: bi, col: c})
+				out.mat = append(out.mat, matCol{name: name, kind: colKind(c)})
+				op.cost = op.cost.Add(gatherCost(s.rows, columnBytes(c), c.Width(), m))
+			}
+		}
+		return op, out, nil
+
+	case *OrderByNode:
+		in, s, err := lower(x.Input, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		op := &orderByOp{in: in, colName: x.Col, desc: x.Desc}
+		width := 8
+		if s.materialized() {
+			i, err := s.resolveMat(x.Col)
+			if err != nil {
+				return nil, nil, err
+			}
+			op.relIdx = i
+		} else {
+			bi, c, err := s.resolve(x.Col)
+			if err != nil {
+				return nil, nil, err
+			}
+			op.bindIdx, op.col = bi, c
+			width = c.Width()
+		}
+		op.cost = orderByCost(int(s.rows), width, m)
+		return op, s, nil
+
+	case *LimitNode:
+		in, s, err := lower(x.Input, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if x.N < 0 {
+			return nil, nil, fmt.Errorf("engine: negative limit %d", x.N)
+		}
+		out := *s
+		if float64(x.N) < out.rows {
+			out.rows = float64(x.N)
+		}
+		return &limitOp{in: in, n: x.N}, &out, nil
+	}
+	return nil, nil, fmt.Errorf("engine: unknown logical node %T", n)
+}
+
+// lowerSelect picks the selection access path (§3.2): directly above a
+// Scan the planner compares the cost models of a full-column
+// scan-select and a CSS-tree range select; above anything else the
+// predicate becomes a positional refilter.
+func lowerSelect(x *SelectNode, cfg Config) (physOp, *shape, error) {
+	m := cfg.Machine
+	in, s, err := lower(x.Input, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.materialized() {
+		return nil, nil, fmt.Errorf("engine: Select above a materialized result is not supported")
+	}
+	col, err := predColumn(s, x.Pred)
+	if err != nil {
+		return nil, nil, err
+	}
+	bi, c := col.bindIdx, col.col
+	frac := estimateFraction(c, x.Pred)
+	out := &shape{tables: s.tables, rows: s.rows * frac}
+
+	if _, isScan := in.(*scanOp); !isScan {
+		op := &refilterOp{in: in, bindIdx: bi, col: c, pred: x.Pred, est: frac,
+			cost: refilterCost(s.rows, columnBytes(c), m)}
+		return op, out, nil
+	}
+
+	n := c.Vec.Len()
+	k := float64(n) * frac
+	scanCost := scanSelectCost(n, c.Width(), k, m)
+
+	rp, isRange := x.Pred.(RangePred)
+	if isRange && indexableI32(c) {
+		cssCost := cssSelectCost(n, k, m)
+		if cssCost.Total(m) < scanCost.Total(m) {
+			return &selectCSSOp{in: in, col: c, pred: rp, est: frac, cost: cssCost}, out, nil
+		}
+	}
+	return &selectScanOp{in: in, col: c, pred: x.Pred, est: frac, cost: scanCost}, out, nil
+}
+
+// predColumn resolves and type-checks the predicate's column.
+type resolvedCol struct {
+	bindIdx int
+	col     *dsm.Column
+}
+
+func predColumn(s *shape, pred Predicate) (resolvedCol, error) {
+	switch p := pred.(type) {
+	case RangePred:
+		bi, c, err := s.resolve(p.Col)
+		if err != nil {
+			return resolvedCol{}, err
+		}
+		switch c.Def.Type {
+		case dsm.LInt, dsm.LDate:
+		default:
+			return resolvedCol{}, fmt.Errorf("engine: range predicate on %v column %q", c.Def.Type, p.Col)
+		}
+		return resolvedCol{bi, c}, nil
+	case EqStringPred:
+		bi, c, err := s.resolve(p.Col)
+		if err != nil {
+			return resolvedCol{}, err
+		}
+		if c.Def.Type != dsm.LString {
+			return resolvedCol{}, fmt.Errorf("engine: string predicate on %v column %q", c.Def.Type, p.Col)
+		}
+		return resolvedCol{bi, c}, nil
+	}
+	return resolvedCol{}, fmt.Errorf("engine: unknown predicate %T", pred)
+}
+
+// indexableI32 reports whether a column can back a CSS-tree (a stored
+// integer column within the int32 domain).
+func indexableI32(c *dsm.Column) bool {
+	if c.Enc != nil {
+		return false
+	}
+	switch c.Vec.(type) {
+	case *bat.I8Vec, *bat.I16Vec, *bat.I32Vec:
+		return true
+	}
+	return false
+}
+
+// columnBytes is a column's stored footprint.
+func columnBytes(c *dsm.Column) float64 {
+	return float64(c.Vec.Len()) * float64(c.Width())
+}
+
+func colKind(c *dsm.Column) Kind {
+	switch {
+	case c.Def.Type == dsm.LString:
+		return KString
+	case c.Def.Type == dsm.LFloat:
+		return KFloat
+	default:
+		return KInt
+	}
+}
+
+// lowerJoin resolves the join strategy, radix bits and passes with the
+// §3.4.4 machinery (core.PlanAuto over the paper's cost models) at the
+// estimated operand cardinality.
+func lowerJoin(x *JoinNode, cfg Config) (physOp, *shape, error) {
+	m := cfg.Machine
+	l, ls, err := lower(x.Left, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, rs, err := lower(x.Right, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ls.materialized() || rs.materialized() {
+		return nil, nil, fmt.Errorf("engine: Join above a materialized result is not supported")
+	}
+	li, lc, err := ls.resolve(x.LeftCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	ri, rc, err := rs.resolve(x.RightCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, c := range []struct {
+		col  *dsm.Column
+		name string
+	}{{lc, x.LeftCol}, {rc, x.RightCol}} {
+		switch c.col.Def.Type {
+		case dsm.LInt, dsm.LDate:
+		default:
+			return nil, nil, fmt.Errorf("engine: join column %q is %v, want int/date", c.name, c.col.Def.Type)
+		}
+	}
+	card := int(ls.rows)
+	if int(rs.rows) > card {
+		card = int(rs.rows)
+	}
+	if card < 1 {
+		card = 1
+	}
+	plan := core.PlanAuto(card, m)
+	cost := core.PredictPlan(plan, card, m).
+		Add(gatherCost(ls.rows, columnBytes(lc), 8, m)).
+		Add(gatherCost(rs.rows, columnBytes(rc), 8, m))
+	op := &joinOp{
+		left: l, right: r,
+		leftIdx: li, rightIdx: ri,
+		leftCol: lc, rightCol: rc,
+		leftName: qualify(ls, li, x.LeftCol), rightName: qualify(rs, ri, x.RightCol),
+		plan: plan, card: card, cost: cost,
+	}
+	out := &shape{
+		tables: append(append([]*dsm.Table{}, ls.tables...), rs.tables...),
+		rows:   float64(card), // hit-rate-one heuristic (§3.4.1 workloads)
+	}
+	return op, out, nil
+}
+
+// qualify prints a column name with its table when helpful.
+func qualify(s *shape, bindIdx int, name string) string {
+	if strings.Contains(name, ".") {
+		return name
+	}
+	return s.tables[bindIdx].Schema.Name + "." + name
+}
+
+// lowerGroupAgg picks the grouping algorithm (§3.2): hash while the
+// per-group state fits the memory caches, sort/merge beyond.
+func lowerGroupAgg(x *GroupAggNode, cfg Config) (physOp, *shape, error) {
+	m := cfg.Machine
+	in, s, err := lower(x.Input, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.materialized() {
+		return nil, nil, fmt.Errorf("engine: GroupAggregate above a materialized result is not supported")
+	}
+	ki, kc, err := s.resolve(x.Key)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kc.Def.Type == dsm.LString && kc.Enc == nil {
+		return nil, nil, fmt.Errorf("engine: group key %q is an unencoded string column", x.Key)
+	}
+	if x.Measure == nil {
+		return nil, nil, fmt.Errorf("engine: GroupAggregate needs a measure expression")
+	}
+	op := &groupAggOp{in: in, bindIdx: ki, keyCol: kc, keyName: x.Key, measStr: x.Measure.String()}
+	order := map[string]int{}
+	op.measure = bindExpr(x.Measure, order)
+	op.operands = make([]opCol, len(order))
+	var gather costmodel.Breakdown
+	for name, idx := range order {
+		bi, c, err := s.resolve(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch c.Def.Type {
+		case dsm.LInt, dsm.LFloat, dsm.LDate:
+		default:
+			return nil, nil, fmt.Errorf("engine: measure column %q is %v, want numeric", name, c.Def.Type)
+		}
+		op.operands[idx] = opCol{bindIdx: bi, col: c, name: name}
+		gather = gather.Add(gatherCost(s.rows, columnBytes(c), 8, m))
+	}
+	g := estimateGroups(kc)
+	op.estGroups = g
+	n := int(s.rows)
+	hash := groupCost(n, g, false, m)
+	sortc := groupCost(n, g, true, m)
+	if sortc.Total(m) < hash.Total(m) {
+		op.useSort = true
+		op.cost = sortc.Add(gather)
+	} else {
+		op.cost = hash.Add(gather)
+	}
+	keyKind := KInt
+	if kc.Enc != nil {
+		keyKind = KString
+	}
+	out := &shape{
+		rows: g,
+		mat: []matCol{
+			{name: x.Key, kind: keyKind},
+			{name: "count", kind: KInt},
+			{name: "sum", kind: KFloat},
+			{name: "min", kind: KFloat},
+			{name: "max", kind: KFloat},
+		},
+	}
+	return op, out, nil
+}

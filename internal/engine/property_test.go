@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"monetlite/internal/workload"
+)
+
+// The property test: random Select/Join/GroupAggregate plans over the
+// Figure-4 Item workload, cross-checked against a row-at-a-time
+// oracle computed straight from the generated structs — the engine's
+// BAT-algebra plans and the naive tuple loop must agree exactly.
+
+// oracleRow is one joined tuple of the oracle's row-at-a-time world.
+type oracleRow struct {
+	item workload.Item
+	part workload.Part // zero unless the plan joins
+}
+
+// randPred draws a random predicate with its oracle counterpart.
+func randPred(rng *workload.RNG) (Predicate, func(workload.Item) bool) {
+	switch rng.Intn(5) {
+	case 0:
+		lo := int64(1 + rng.Intn(40))
+		hi := lo + int64(rng.Intn(15))
+		return RangePred{Col: "qty", Lo: lo, Hi: hi},
+			func(it workload.Item) bool { return int64(it.Qty) >= lo && int64(it.Qty) <= hi }
+	case 1:
+		lo := int64(8000 + rng.Intn(2000))
+		hi := lo + int64(rng.Intn(1200))
+		return RangePred{Col: "date1", Lo: lo, Hi: hi},
+			func(it workload.Item) bool { return int64(it.Date1) >= lo && int64(it.Date1) <= hi }
+	case 2:
+		// Point-like range on the near-unique order column: exercises
+		// the CSS-tree access path.
+		lo := int64(1000 + rng.Intn(4000))
+		hi := lo + int64(rng.Intn(64))
+		return RangePred{Col: "order", Lo: lo, Hi: hi},
+			func(it workload.Item) bool { return int64(it.Order) >= lo && int64(it.Order) <= hi }
+	case 3:
+		v := workload.ShipModes[rng.Intn(len(workload.ShipModes))]
+		return EqStringPred{Col: "shipmode", Value: v},
+			func(it workload.Item) bool { return it.ShipMode == v }
+	default:
+		v := workload.Statuses[rng.Intn(len(workload.Statuses))]
+		return EqStringPred{Col: "status", Value: v},
+			func(it workload.Item) bool { return it.Status == v }
+	}
+}
+
+// randMeasure draws a random measure expression with its oracle.
+func randMeasure(rng *workload.RNG, joined bool) (Expr, func(oracleRow) float64) {
+	switch n := rng.Intn(4); {
+	case n == 0:
+		return ColExpr{Name: "price"}, func(r oracleRow) float64 { return r.item.Price }
+	case n == 1:
+		return BinExpr{Op: '*', L: ColExpr{Name: "price"},
+				R: BinExpr{Op: '-', L: ConstExpr{V: 1}, R: ColExpr{Name: "discnt"}}},
+			func(r oracleRow) float64 { return r.item.Price * (1 - r.item.Discnt) }
+	case n == 2:
+		return BinExpr{Op: '*', L: ColExpr{Name: "price"}, R: ColExpr{Name: "qty"}},
+			func(r oracleRow) float64 { return r.item.Price * float64(r.item.Qty) }
+	case joined:
+		return BinExpr{Op: '-', L: ColExpr{Name: "retail"}, R: ColExpr{Name: "price"}},
+			func(r oracleRow) float64 { return r.part.Retail - r.item.Price }
+	default:
+		return BinExpr{Op: '+', L: ColExpr{Name: "tax"}, R: ColExpr{Name: "discnt"}},
+			func(r oracleRow) float64 { return r.item.Tax + r.item.Discnt }
+	}
+}
+
+// randKey draws a random group key with its oracle.
+func randKey(rng *workload.RNG, joined bool) (string, func(oracleRow) string) {
+	switch n := rng.Intn(3); {
+	case n == 0:
+		return "shipmode", func(r oracleRow) string { return r.item.ShipMode }
+	case n == 1 && joined:
+		return "category", func(r oracleRow) string { return r.part.Category }
+	default:
+		return "status", func(r oracleRow) string { return r.item.Status }
+	}
+}
+
+func TestRandomPlansMatchRowOracle(t *testing.T) {
+	const nItems = 4096
+	const nParts = 2000
+	const rounds = 60
+
+	items := workload.Items(nItems, 42)
+	parts := workload.Parts(nParts, 7)
+	itemTbl := itemTable(t, nItems) // same seed 42: identical rows
+	partTbl := partTable(t, nParts) // same seed 7
+
+	rng := workload.NewRNG(0xE17)
+	for round := 0; round < rounds; round++ {
+		// Random plan: 0–2 selects, optional join, group-aggregate.
+		var node Node = &ScanNode{Table: itemTbl}
+		var preds []func(workload.Item) bool
+		for i := rng.Intn(3); i > 0; i-- {
+			p, oracle := randPred(rng)
+			node = &SelectNode{Input: node, Pred: p}
+			preds = append(preds, oracle)
+		}
+		joined := rng.Intn(2) == 1
+		if joined {
+			node = &JoinNode{Left: node, Right: &ScanNode{Table: partTbl},
+				LeftCol: "part", RightCol: "id"}
+		}
+		key, keyOracle := randKey(rng, joined)
+		measure, measOracle := randMeasure(rng, joined)
+		node = &GroupAggNode{Input: node, Key: key, Measure: measure}
+
+		plan, err := Plan(node, Config{})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		res, err := plan.Run(nil)
+		if err != nil {
+			t.Fatalf("round %d: %v\n%s", round, err, plan.Explain())
+		}
+
+		// Row-at-a-time oracle.
+		type aggState struct {
+			count       int64
+			sum, mn, mx float64
+		}
+		want := map[string]*aggState{}
+		for _, it := range items {
+			ok := true
+			for _, p := range preds {
+				if !p(it) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			row := oracleRow{item: it}
+			if joined {
+				pid := int(it.Part)
+				if pid >= nParts {
+					continue // no matching part
+				}
+				row.part = parts[pid]
+			}
+			k := keyOracle(row)
+			v := measOracle(row)
+			st := want[k]
+			if st == nil {
+				st = &aggState{mn: v, mx: v}
+				want[k] = st
+			}
+			st.count++
+			st.sum += v
+			if v < st.mn {
+				st.mn = v
+			}
+			if v > st.mx {
+				st.mx = v
+			}
+		}
+
+		keys, err := res.Strings(key)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		counts, _ := res.Ints("count")
+		sums, _ := res.Floats("sum")
+		mins, _ := res.Floats("min")
+		maxs, _ := res.Floats("max")
+		if len(keys) != len(want) {
+			t.Fatalf("round %d: %d groups, oracle %d\n%s", round, len(keys), len(want), plan.Explain())
+		}
+		for i, k := range keys {
+			st := want[k]
+			if st == nil {
+				t.Fatalf("round %d: spurious group %q", round, k)
+			}
+			if counts[i] != st.count {
+				t.Errorf("round %d group %q: count %d, oracle %d", round, k, counts[i], st.count)
+			}
+			if !approx(sums[i], st.sum) || !approx(mins[i], st.mn) || !approx(maxs[i], st.mx) {
+				t.Errorf("round %d group %q: (sum %g min %g max %g), oracle (%g %g %g)",
+					round, k, sums[i], mins[i], maxs[i], st.sum, st.mn, st.mx)
+			}
+		}
+	}
+}
+
+// approx compares float aggregates with a relative tolerance that
+// absorbs summation-order differences.
+func approx(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= 1e-9*(math.Abs(a)+math.Abs(b)+1)
+}
+
+// TestSelectedRowsMatchOracle cross-checks plain (non-aggregated)
+// select plans: the projected rows must equal the oracle's qualifying
+// tuples in storage order.
+func TestSelectedRowsMatchOracle(t *testing.T) {
+	const n = 4096
+	items := workload.Items(n, 42)
+	tbl := itemTable(t, n)
+	rng := workload.NewRNG(0x5E1)
+	for round := 0; round < 40; round++ {
+		var node Node = &ScanNode{Table: tbl}
+		var preds []func(workload.Item) bool
+		for i := 1 + rng.Intn(2); i > 0; i-- {
+			p, oracle := randPred(rng)
+			node = &SelectNode{Input: node, Pred: p}
+			preds = append(preds, oracle)
+		}
+		node = &ProjectNode{Input: node, Cols: []string{"order", "price", "shipmode"}}
+		plan, err := Plan(node, Config{})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		res, err := plan.Run(nil)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		orders, _ := res.Ints("order")
+		prices, _ := res.Floats("price")
+		modes, _ := res.Strings("shipmode")
+
+		i := 0
+		for _, it := range items {
+			ok := true
+			for _, p := range preds {
+				if !p(it) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if i >= res.N() {
+				t.Fatalf("round %d: engine returned %d rows, oracle has more", round, res.N())
+			}
+			if orders[i] != int64(it.Order) || prices[i] != it.Price || modes[i] != it.ShipMode {
+				t.Fatalf("round %d row %d: engine (%d, %g, %s), oracle (%d, %g, %s)",
+					round, i, orders[i], prices[i], modes[i], it.Order, it.Price, it.ShipMode)
+			}
+			i++
+		}
+		if i != res.N() {
+			t.Fatalf("round %d: engine returned %d rows, oracle %d", round, res.N(), i)
+		}
+	}
+}

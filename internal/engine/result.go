@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"monetlite/internal/costmodel"
+)
+
+// emptyBreakdown is the zero prediction (operators the models skip).
+var emptyBreakdown costmodel.Breakdown
+
+// Result is a fully materialized query result.
+type Result struct {
+	Rel *Rel
+}
+
+// N returns the number of result rows.
+func (r *Result) N() int { return r.Rel.N }
+
+// Columns returns the result column names in order.
+func (r *Result) Columns() []string {
+	out := make([]string, len(r.Rel.Cols))
+	for i := range r.Rel.Cols {
+		out[i] = r.Rel.Cols[i].Name
+	}
+	return out
+}
+
+func (r *Result) col(name string, kind Kind) (*RelCol, error) {
+	i := r.Rel.Col(name)
+	if i < 0 {
+		return nil, fmt.Errorf("engine: result has no column %q", name)
+	}
+	c := &r.Rel.Cols[i]
+	if c.Kind != kind {
+		return nil, fmt.Errorf("engine: column %q is %v, not %v", name, c.Kind, kind)
+	}
+	return c, nil
+}
+
+// Ints returns an integer result column.
+func (r *Result) Ints(name string) ([]int64, error) {
+	c, err := r.col(name, KInt)
+	if err != nil {
+		return nil, err
+	}
+	return c.Ints, nil
+}
+
+// Floats returns a float result column.
+func (r *Result) Floats(name string) ([]float64, error) {
+	c, err := r.col(name, KFloat)
+	if err != nil {
+		return nil, err
+	}
+	return c.Floats, nil
+}
+
+// Strings returns a string result column.
+func (r *Result) Strings(name string) ([]string, error) {
+	c, err := r.col(name, KString)
+	if err != nil {
+		return nil, err
+	}
+	return c.Strs, nil
+}
+
+// Row returns row i as one value per column.
+func (r *Result) Row(i int) []any {
+	out := make([]any, len(r.Rel.Cols))
+	for ci := range r.Rel.Cols {
+		c := &r.Rel.Cols[ci]
+		switch c.Kind {
+		case KInt:
+			out[ci] = c.Ints[i]
+		case KFloat:
+			out[ci] = c.Floats[i]
+		default:
+			out[ci] = c.Strs[i]
+		}
+	}
+	return out
+}
+
+// Format renders up to maxRows rows as an aligned text table.
+func (r *Result) Format(maxRows int) string {
+	n := r.Rel.N
+	truncated := false
+	if maxRows >= 0 && n > maxRows {
+		n = maxRows
+		truncated = true
+	}
+	cols := r.Rel.Cols
+	widths := make([]int, len(cols))
+	cells := make([][]string, n+1)
+	cells[0] = make([]string, len(cols))
+	for ci := range cols {
+		cells[0][ci] = cols[ci].Name
+		widths[ci] = len(cols[ci].Name)
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, len(cols))
+		for ci := range cols {
+			c := &cols[ci]
+			switch c.Kind {
+			case KInt:
+				row[ci] = fmt.Sprintf("%d", c.Ints[i])
+			case KFloat:
+				row[ci] = fmt.Sprintf("%.2f", c.Floats[i])
+			default:
+				row[ci] = c.Strs[i]
+			}
+			if len(row[ci]) > widths[ci] {
+				widths[ci] = len(row[ci])
+			}
+		}
+		cells[i+1] = row
+	}
+	var sb strings.Builder
+	for ri, row := range cells {
+		for ci, cell := range row {
+			if ci > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[ci], cell)
+		}
+		sb.WriteString("\n")
+		if ri == 0 {
+			for ci := range row {
+				if ci > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", widths[ci]))
+			}
+			sb.WriteString("\n")
+		}
+	}
+	if truncated {
+		fmt.Fprintf(&sb, "... (%d rows total)\n", r.Rel.N)
+	}
+	return sb.String()
+}

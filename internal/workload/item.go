@@ -27,6 +27,33 @@ var ShipModes = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK
 // Statuses is the one-character status domain.
 var Statuses = []string{"F", "O", "P"}
 
+// Part is one row of the "Part" dimension table joining Item.Part:
+// the second relation of the engine's multi-table query plans.
+type Part struct {
+	Id       int32
+	Category string
+	Retail   float64
+}
+
+// Categories is the low-cardinality part-category domain.
+var Categories = []string{"ANODIZED", "BRUSHED", "BURNISHED", "PLATED", "POLISHED"}
+
+// Parts generates n deterministic Part rows with dense ids 0..n-1, so
+// a join on Item.Part (drawn from [0, 2000)) hits every item when
+// n >= 2000.
+func Parts(n int, seed uint64) []Part {
+	rng := NewRNG(seed)
+	parts := make([]Part, n)
+	for i := range parts {
+		parts[i] = Part{
+			Id:       int32(i),
+			Category: Categories[rng.Intn(len(Categories))],
+			Retail:   float64(100+rng.Intn(90000)) / 100,
+		}
+	}
+	return parts
+}
+
 // Items generates n deterministic Item rows. Discounts are drawn from
 // {0.00, 0.10} and shipmodes uniformly from ShipModes, echoing the
 // figure's example values.

@@ -1,0 +1,187 @@
+package monetlite
+
+import (
+	"monetlite/internal/core"
+	"monetlite/internal/dsm"
+	"monetlite/internal/engine"
+)
+
+// ---------------------------------------------------------------------
+// The BAT-algebra query engine (internal/engine), surfaced as a fluent
+// builder: logical plans over decomposed tables, lowered by a physical
+// planner that consults the paper's cost models for every choice —
+// selection access path (§3.2), join strategy and radix bits (§3.4.4),
+// grouping algorithm (§3.2) — and executed MIL-style, one fully
+// materialized operator at a time.
+//
+//	res, err := monetlite.Query(items).
+//		WhereRange("date1", 8500, 9499).
+//		GroupBy("shipmode", monetlite.Mul(monetlite.Col("price"),
+//			monetlite.Sub(monetlite.Const(1), monetlite.Col("discnt")))).
+//		Run()
+
+// QueryPlan is a lowered physical plan: Explain it, predict its cost,
+// run it natively or instrumented.
+type QueryPlan = engine.PhysicalPlan
+
+// QueryResult is a fully materialized query result.
+type QueryResult = engine.Result
+
+// Pred is a selection condition on one column.
+type Pred = engine.Predicate
+
+// MeasureExpr is a per-tuple arithmetic expression over numeric
+// columns, aggregated by GroupBy.
+type MeasureExpr = engine.Expr
+
+// Range selects rows whose integer/date column value lies in [lo, hi].
+func Range(col string, lo, hi int64) Pred { return engine.RangePred{Col: col, Lo: lo, Hi: hi} }
+
+// EqString selects rows whose string column equals value (re-mapped to
+// a byte-code comparison on encoded columns, §3.1).
+func EqString(col, value string) Pred { return engine.EqStringPred{Col: col, Value: value} }
+
+// Col references a numeric column in a measure expression.
+func Col(name string) MeasureExpr { return engine.ColExpr{Name: name} }
+
+// Const is a numeric literal in a measure expression.
+func Const(v float64) MeasureExpr { return engine.ConstExpr{V: v} }
+
+// Add, Sub, Mul and Div combine measure expressions.
+func Add(l, r MeasureExpr) MeasureExpr { return engine.BinExpr{Op: '+', L: l, R: r} }
+
+// Sub subtracts r from l.
+func Sub(l, r MeasureExpr) MeasureExpr { return engine.BinExpr{Op: '-', L: l, R: r} }
+
+// Mul multiplies two measure expressions.
+func Mul(l, r MeasureExpr) MeasureExpr { return engine.BinExpr{Op: '*', L: l, R: r} }
+
+// Div divides l by r.
+func Div(l, r MeasureExpr) MeasureExpr { return engine.BinExpr{Op: '/', L: l, R: r} }
+
+// QueryBuilder accumulates a logical plan DAG bottom-up. Invalid
+// plans (unknown columns, type mismatches) surface as errors from
+// Plan/Explain/Run.
+type QueryBuilder struct {
+	root    engine.Node
+	machine Machine
+	opt     Options
+	hasMach bool
+}
+
+// Query starts a plan with a scan of a decomposed table.
+func Query(t *Table) *QueryBuilder {
+	return &QueryBuilder{root: &engine.ScanNode{Table: t}}
+}
+
+// On selects the machine profile whose cost models drive the physical
+// planning (default: Origin2000, the paper's platform).
+func (q *QueryBuilder) On(m Machine) *QueryBuilder {
+	q.machine, q.hasMach = m, true
+	return q
+}
+
+// Parallel bounds the worker goroutines of the native join phase
+// (0 = GOMAXPROCS, 1 = serial).
+func (q *QueryBuilder) Parallel(workers int) *QueryBuilder {
+	q.opt = core.Options{Parallelism: workers}
+	return q
+}
+
+// Where filters by a predicate. Directly above the scan the planner
+// chooses the access path (scan-select vs CSS-tree) by predicted cost.
+func (q *QueryBuilder) Where(p Pred) *QueryBuilder {
+	q.root = &engine.SelectNode{Input: q.root, Pred: p}
+	return q
+}
+
+// WhereRange is Where(Range(col, lo, hi)).
+func (q *QueryBuilder) WhereRange(col string, lo, hi int64) *QueryBuilder {
+	return q.Where(Range(col, lo, hi))
+}
+
+// WhereString is Where(EqString(col, value)).
+func (q *QueryBuilder) WhereString(col, value string) *QueryBuilder {
+	return q.Where(EqString(col, value))
+}
+
+// JoinTable equi-joins the plan so far with a scan of another table on
+// leftCol = rightCol. The planner resolves strategy, radix bits and
+// passes via the §3.4.4 cost models at the estimated cardinality.
+func (q *QueryBuilder) JoinTable(t *Table, leftCol, rightCol string) *QueryBuilder {
+	q.root = &engine.JoinNode{
+		Left: q.root, Right: &engine.ScanNode{Table: t},
+		LeftCol: leftCol, RightCol: rightCol,
+	}
+	return q
+}
+
+// GroupBy groups by a key column and aggregates the measure expression
+// per group, producing columns key, count, sum, min, max.
+func (q *QueryBuilder) GroupBy(key string, measure MeasureExpr) *QueryBuilder {
+	q.root = &engine.GroupAggNode{Input: q.root, Key: key, Measure: measure}
+	return q
+}
+
+// Select projects (materializes) the named columns.
+func (q *QueryBuilder) Select(cols ...string) *QueryBuilder {
+	q.root = &engine.ProjectNode{Input: q.root, Cols: cols}
+	return q
+}
+
+// OrderBy sorts by a column.
+func (q *QueryBuilder) OrderBy(col string, desc bool) *QueryBuilder {
+	q.root = &engine.OrderByNode{Input: q.root, Col: col, Desc: desc}
+	return q
+}
+
+// Limit keeps the first n rows.
+func (q *QueryBuilder) Limit(n int) *QueryBuilder {
+	q.root = &engine.LimitNode{Input: q.root, N: n}
+	return q
+}
+
+// Plan lowers the accumulated logical DAG into a physical plan.
+func (q *QueryBuilder) Plan() (*QueryPlan, error) {
+	cfg := engine.Config{Opt: q.opt}
+	if q.hasMach {
+		cfg.Machine = q.machine
+	}
+	return engine.Plan(q.root, cfg)
+}
+
+// Explain plans the query and renders the physical operator tree with
+// per-operator cost-model predictions.
+func (q *QueryBuilder) Explain() (string, error) {
+	p, err := q.Plan()
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// Run plans and executes the query natively (parallel join phase).
+func (q *QueryBuilder) Run() (*QueryResult, error) {
+	p, err := q.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(nil)
+}
+
+// RunSim plans and executes the query on a simulator of the plan's
+// machine, for exact L1/L2/TLB miss counts (always serial).
+func (q *QueryBuilder) RunSim(sim *Sim) (*QueryResult, error) {
+	p, err := q.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(sim)
+}
+
+// PartSchema is the "Part" dimension-table schema (id joins
+// item.part).
+func PartSchema() Schema { return dsm.PartSchema() }
+
+// PartTable generates and decomposes n deterministic Part rows.
+func PartTable(n int, seed uint64) (*Table, error) { return dsm.PartTable(n, seed) }
