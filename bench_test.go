@@ -225,6 +225,60 @@ func BenchmarkParallelJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelQuery runs a select → group-aggregate plan through
+// the engine end to end, serial vs morsel-parallel: the whole-operator
+// -tree counterpart of BenchmarkParallelJoin. The parallel result is
+// checked byte-identical to the serial result before timing starts.
+func BenchmarkParallelQuery(b *testing.B) {
+	items, err := ItemTable(parBenchCard(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func() *QueryBuilder {
+		return Query(items).
+			WhereRange("date1", 8500, 9499).
+			GroupBy("shipmode", Mul(Col("price"), Sub(Const(1), Col("discnt"))))
+	}
+	want, err := build().Parallel(1).Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := build().Parallel(0).Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sums, _ := got.Floats("sum")
+	wsums, _ := want.Floats("sum")
+	if got.N() != want.N() {
+		b.Fatalf("parallel %d groups, serial %d", got.N(), want.N())
+	}
+	for i := range wsums {
+		if sums[i] != wsums[i] {
+			b.Fatalf("group %d: parallel sum %v != serial %v", i, sums[i], wsums[i])
+		}
+	}
+	for _, eng := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			b.SetBytes(int64(parBenchCard()) * 12) // date + price + discnt bytes scanned
+			for i := 0; i < b.N; i++ {
+				res, err := build().Parallel(eng.workers).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.N() != want.N() {
+					b.Fatalf("bad group count %d", res.N())
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkParallelRadixCluster isolates the clustering phase on the
 // parallel engine: 4M tuples on the Radix8 operating point (multi-pass,
 // the per-worker histogram → prefix-sum → scatter scheme).

@@ -8,7 +8,13 @@
 //
 // Usage:
 //
-//	mlquery [-rows 1048576] [-parts 2000] [-machine origin2k] [-sim] [-workers 0] [-top 10]
+//	mlquery [-rows 1048576] [-parts 2000] [-machine origin2k] [-sim] [-par 0] [-verify] [-top 10]
+//
+// -par bounds the worker goroutines of the whole native operator tree
+// (morsel-driven parallelism; 0 = GOMAXPROCS, 1 = serial). -verify
+// additionally runs every query serially and checks the parallel
+// result is byte-identical — the operator-level smoke test CI runs on
+// every push.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"reflect"
 	"time"
 
 	"monetlite"
@@ -34,7 +41,10 @@ func main() {
 	nparts := flag.Int("parts", 2000, "Part dimension cardinality")
 	machine := flag.String("machine", "origin2k", "machine profile for planning (and -sim)")
 	simulate := flag.Bool("sim", false, "also run instrumented on the machine's simulator")
-	workers := flag.Int("workers", 0, "parallel join workers (0 = GOMAXPROCS, 1 = serial)")
+	var workers int
+	flag.IntVar(&workers, "par", 0, "worker goroutines for every plan operator (0 = GOMAXPROCS, 1 = serial)")
+	flag.IntVar(&workers, "workers", 0, "alias for -par")
+	verify := flag.Bool("verify", false, "cross-check each parallel result byte-identical to a serial run")
 	top := flag.Int("top", 10, "result rows to print per query")
 	flag.Parse()
 
@@ -129,7 +139,7 @@ func main() {
 
 	for _, q := range queries {
 		fmt.Printf("=== %s ===\n%s\n\n", q.name, q.sql)
-		b := q.build().On(m).Parallel(*workers)
+		b := q.build().On(m).Parallel(workers)
 		plan, err := b.Plan()
 		if err != nil {
 			log.Fatal(err)
@@ -143,6 +153,22 @@ func main() {
 		}
 		native := time.Since(t0)
 		fmt.Printf("\nnative: %v, %d result rows\n", native.Round(10*time.Microsecond), res.N())
+
+		if *verify {
+			serialPlan, err := q.build().On(m).Parallel(1).Plan()
+			if err != nil {
+				log.Fatal(err)
+			}
+			serial, err := serialPlan.Run(nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Rel, serial.Rel) {
+				fmt.Fprintf(os.Stderr, "mlquery: %s: parallel result differs from serial\n", q.name)
+				os.Exit(1)
+			}
+			fmt.Println("verify: parallel result byte-identical to serial")
+		}
 
 		if sim != nil {
 			before := sim.Stats()

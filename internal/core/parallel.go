@@ -45,6 +45,85 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Workers returns the effective worker count the options resolve to
+// (the bound every morsel-driven operator clamps to its morsel count).
+func (o Options) Workers() int { return o.workers() }
+
+// MorselRows is the number of rows per morsel: the unit in which the
+// morsel-driven operators (select, refilter, gather, group-aggregate)
+// split their inputs before fanning them out over the worker pool. At
+// 256K rows a morsel of a narrow column is a few hundred KB — past the
+// L2 cache, so per-morsel work amortizes scheduling, yet small enough
+// that a handful of morsels load-balance across workers. Morsel
+// boundaries (not worker count) determine every merge order, so
+// results are byte-identical for any Parallelism setting. A variable
+// so tests can shrink it to exercise multi-morsel merging on small
+// inputs; treat it as a constant otherwise.
+var MorselRows = 256 << 10
+
+// MorselsOf returns the number of fixed-size morsels covering n rows
+// (at least 1, so a zero-row input still runs its operator body once).
+func MorselsOf(n int) int {
+	if n <= MorselRows {
+		return 1
+	}
+	return (n + MorselRows - 1) / MorselRows
+}
+
+// MorselBounds returns the row range [lo, hi) of morsel m of an n-row
+// input.
+func MorselBounds(m, n int) (lo, hi int) {
+	lo = m * MorselRows
+	hi = lo + MorselRows
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// WorkersFor resolves the degree of parallelism a morsel-driven
+// operator over n rows may use: the configured worker bound clamped by
+// the morsel count (never below 1). The single source of the clamp —
+// execution and EXPLAIN annotations must agree.
+func (o Options) WorkersFor(n int) int {
+	w := o.workers()
+	if m := MorselsOf(n); w > m {
+		w = m
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs body(w, i) for every i in [0, n) with up to `workers`
+// goroutines pulling indexes off a shared counter — the worker pool
+// behind every morsel-driven operator. body must touch only
+// index-i-local and worker-w-local state; with workers <= 1 it runs
+// inline, in order.
+func ForEach(workers, n int, body func(w, i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
+		}
+		return
+	}
+	forEachIndex(workers, n, body)
+}
+
+// ForMorsels runs body(m, lo, hi) for every morsel of an n-row input
+// on up to `workers` goroutines — the one source of the morsel
+// decompose/fan-out recipe, so every operator slices its input
+// identically and the byte-identical merge orders cannot drift apart.
+// body must write only morsel-m-local state (its own output ranges or
+// buffers); with workers <= 1 the morsels run inline, in order.
+func ForMorsels(workers, n int, body func(m, lo, hi int)) {
+	ForEach(workers, MorselsOf(n), func(_, m int) {
+		lo, hi := MorselBounds(m, n)
+		body(m, lo, hi)
+	})
+}
+
 // joinTask is one unit of join-phase work: a contiguous range of
 // clusters [LoK, HiK) whose results land in Out, so concatenating task
 // outputs in task order reproduces the serial emission order exactly.

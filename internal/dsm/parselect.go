@@ -1,0 +1,81 @@
+package dsm
+
+import (
+	"fmt"
+
+	"monetlite/internal/bat"
+	"monetlite/internal/core"
+	"monetlite/internal/memsim"
+)
+
+// Morsel-driven parallel select kernels: the native scan-selects split
+// the column into fixed-size morsels (core.MorselRows) and fan them
+// out over the core.Options worker pool. Each morsel scans its own
+// contiguous range into a private buffer — OIDs ascend within a morsel
+// — and the buffers concatenate in morsel order, so the result is
+// byte-identical to the serial scan for any worker count. Instrumented
+// runs (sim != nil) always take the serial path: the simulator models
+// a single CPU and is not safe for concurrent use.
+
+// concatOids stitches per-morsel OID buffers back together in morsel
+// order.
+func concatOids(parts [][]bat.Oid) []bat.Oid {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]bat.Oid, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// SelectRangeOpts is SelectRange with an execution-engine
+// configuration: the native scan fans morsels out over the worker
+// pool; instrumented or single-worker runs take the serial path.
+func (t *Table) SelectRangeOpts(sim *memsim.Sim, column string, lo, hi int64, opt core.Options) ([]bat.Oid, error) {
+	c, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	if c.Enc != nil {
+		return nil, fmt.Errorf("dsm: SelectRange on encoded column %q; use SelectStringRange", column)
+	}
+	n := c.Vec.Len()
+	workers := opt.WorkersFor(n)
+	if sim != nil || workers <= 1 {
+		return t.SelectRange(sim, column, lo, hi)
+	}
+	parts := make([][]bat.Oid, core.MorselsOf(n))
+	core.ForMorsels(workers, n, func(m, from, to int) {
+		parts[m] = nativeSelectRangeAt(c, lo, hi, from, to)
+	})
+	return concatOids(parts), nil
+}
+
+// SelectStringOpts is SelectString with an execution-engine
+// configuration. Only the re-mapped byte-code scan over an encoded
+// column parallelizes — an unencoded string column scans serially
+// (its cost is dominated by string compares the §3.1 encoding exists
+// to avoid).
+func (t *Table) SelectStringOpts(sim *memsim.Sim, column, value string, opt core.Options) ([]bat.Oid, error) {
+	c, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	n := c.Vec.Len()
+	workers := opt.WorkersFor(n)
+	if sim != nil || workers <= 1 || c.Enc == nil {
+		return t.SelectString(sim, column, value)
+	}
+	code, ok := c.Enc.Code(value)
+	if !ok {
+		return nil, nil // value outside domain: empty result
+	}
+	parts := make([][]bat.Oid, core.MorselsOf(n))
+	core.ForMorsels(workers, n, func(m, from, to int) {
+		parts[m] = nativeSelectCodeAt(c, code, from, to)
+	})
+	return concatOids(parts), nil
+}

@@ -54,22 +54,26 @@ func SamplePositions(n int) []int {
 	return out
 }
 
-// estimateCap probes the sample positions through the test predicate
-// and sizes an output slice from the matching fraction (with slack,
-// clamped to [16, n]) — so the native scan almost never reallocates
-// while small results stay small.
-func estimateCap(n int, test func(i int) bool) int {
-	pos := SamplePositions(n)
-	if len(pos) == 0 {
+// estimateCapRange probes up to 1024 evenly spaced positions inside
+// [from, to) through the test predicate and sizes an output slice from
+// the matching fraction (with slack, clamped to [16, n]) — so a scan
+// (or one morsel of a parallel scan) almost never reallocates while
+// small results stay small, and a morsel that misestimates only
+// reallocates its own buffer.
+func estimateCapRange(from, to int, test func(i int) bool) int {
+	n := to - from
+	if n <= 0 {
 		return 0
 	}
-	match := 0
-	for _, i := range pos {
+	step := (n + 1023) / 1024
+	match, probes := 0, 0
+	for i := from; i < to; i += step {
+		probes++
 		if test(i) {
 			match++
 		}
 	}
-	cap := n / len(pos) * match
+	cap := n / probes * match
 	cap += cap / 8
 	if cap < 16 {
 		cap = 16
@@ -83,22 +87,28 @@ func estimateCap(n int, test func(i int) bool) int {
 // nativeSelectRange is the uninstrumented scan-select: one tight loop
 // per physical width, no Touch, preallocated output.
 func nativeSelectRange(c *Column, lo, hi int64) []bat.Oid {
+	return nativeSelectRangeAt(c, lo, hi, 0, c.Vec.Len())
+}
+
+// nativeSelectRangeAt scans positions [from, to) only — the morsel
+// body of the parallel scan-select (OIDs ascend within the range, so
+// concatenating morsel outputs in order reproduces the full scan).
+func nativeSelectRangeAt(c *Column, lo, hi int64, from, to int) []bat.Oid {
 	switch v := c.Vec.(type) {
 	case *bat.I8Vec:
-		return selectSlice(v.V, lo, hi)
+		return selectSlice(v.V[from:to], lo, hi, from)
 	case *bat.I16Vec:
-		return selectSlice(v.V, lo, hi)
+		return selectSlice(v.V[from:to], lo, hi, from)
 	case *bat.I32Vec:
-		return selectSlice(v.V, lo, hi)
+		return selectSlice(v.V[from:to], lo, hi, from)
 	case *bat.I64Vec:
-		return selectSlice(v.V, lo, hi)
+		return selectSlice(v.V[from:to], lo, hi, from)
 	default:
-		n := c.Vec.Len()
-		out := make([]bat.Oid, 0, estimateCap(n, func(i int) bool {
+		out := make([]bat.Oid, 0, estimateCapRange(from, to, func(i int) bool {
 			x := c.Vec.Int(i)
 			return x >= lo && x <= hi
 		}))
-		for i := 0; i < n; i++ {
+		for i := from; i < to; i++ {
 			if x := c.Vec.Int(i); x >= lo && x <= hi {
 				out = append(out, bat.Oid(i))
 			}
@@ -107,16 +117,17 @@ func nativeSelectRange(c *Column, lo, hi int64) []bat.Oid {
 	}
 }
 
-// selectSlice scans one typed slice. Widths narrower than the bounds
-// clamp correctly because the comparison widens each element.
-func selectSlice[T int8 | int16 | int32 | int64](vals []T, lo, hi int64) []bat.Oid {
-	out := make([]bat.Oid, 0, estimateCap(len(vals), func(i int) bool {
+// selectSlice scans one typed slice, emitting OIDs offset by base.
+// Widths narrower than the bounds clamp correctly because the
+// comparison widens each element.
+func selectSlice[T int8 | int16 | int32 | int64](vals []T, lo, hi int64, base int) []bat.Oid {
+	out := make([]bat.Oid, 0, estimateCapRange(0, len(vals), func(i int) bool {
 		x := int64(vals[i])
 		return x >= lo && x <= hi
 	}))
 	for i, v := range vals {
 		if x := int64(v); x >= lo && x <= hi {
-			out = append(out, bat.Oid(i))
+			out = append(out, bat.Oid(base+i))
 		}
 	}
 	return out
@@ -169,15 +180,20 @@ func (t *Table) SelectString(sim *memsim.Sim, column, value string) ([]bat.Oid, 
 // re-mapped string predicate on the 1-/2-byte code column, as one
 // tight loop with preallocated output.
 func nativeSelectCode(c *Column, code int64) []bat.Oid {
+	return nativeSelectCodeAt(c, code, 0, c.Vec.Len())
+}
+
+// nativeSelectCodeAt scans positions [from, to) only — the morsel body
+// of the parallel byte-code equality scan.
+func nativeSelectCodeAt(c *Column, code int64, from, to int) []bat.Oid {
 	switch v := c.Vec.(type) {
 	case *bat.I8Vec:
-		return selectEqSlice(v.V, int8(code))
+		return selectEqSlice(v.V[from:to], int8(code), from)
 	case *bat.I16Vec:
-		return selectEqSlice(v.V, int16(code))
+		return selectEqSlice(v.V[from:to], int16(code), from)
 	default:
-		n := c.Vec.Len()
-		out := make([]bat.Oid, 0, estimateCap(n, func(i int) bool { return codeOf(c, i) == code }))
-		for i := 0; i < n; i++ {
+		out := make([]bat.Oid, 0, estimateCapRange(from, to, func(i int) bool { return codeOf(c, i) == code }))
+		for i := from; i < to; i++ {
 			if codeOf(c, i) == code {
 				out = append(out, bat.Oid(i))
 			}
@@ -186,15 +202,16 @@ func nativeSelectCode(c *Column, code int64) []bat.Oid {
 	}
 }
 
-// selectEqSlice scans one typed code slice for equality. The target is
-// pre-narrowed to the slice's element type, so each comparison is a
-// single machine-width compare (codes are stored with wraparound, and
-// narrowing the unsigned code value applies the same wraparound).
-func selectEqSlice[T int8 | int16](vals []T, code T) []bat.Oid {
-	out := make([]bat.Oid, 0, estimateCap(len(vals), func(i int) bool { return vals[i] == code }))
+// selectEqSlice scans one typed code slice for equality, emitting OIDs
+// offset by base. The target is pre-narrowed to the slice's element
+// type, so each comparison is a single machine-width compare (codes
+// are stored with wraparound, and narrowing the unsigned code value
+// applies the same wraparound).
+func selectEqSlice[T int8 | int16](vals []T, code T, base int) []bat.Oid {
+	out := make([]bat.Oid, 0, estimateCapRange(0, len(vals), func(i int) bool { return vals[i] == code }))
 	for i, v := range vals {
 		if v == code {
-			out = append(out, bat.Oid(i))
+			out = append(out, bat.Oid(base+i))
 		}
 	}
 	return out

@@ -11,14 +11,15 @@ import (
 func samplePositions(n int) []int { return dsm.SamplePositions(n) }
 
 // estimateFraction estimates the fraction of rows a predicate selects
-// by probing evenly spaced sample positions. The result is clamped
-// away from exactly 0 so downstream cardinalities never collapse.
+// by probing evenly spaced sample positions. Every exit routes through
+// clampFraction, so the result is never exactly 0 — a zero estimate
+// would collapse all downstream cardinalities and degenerate the
+// planner's join and grouping choices. In particular a dictionary miss
+// (predicate value outside the encoding) and an empty sample set still
+// return the clamp floor, not 0.
 func estimateFraction(c *dsm.Column, pred Predicate) float64 {
 	n := c.Vec.Len()
 	pos := samplePositions(n)
-	if len(pos) == 0 {
-		return 0
-	}
 	match := 0
 	switch p := pred.(type) {
 	case RangePred:
@@ -31,7 +32,7 @@ func estimateFraction(c *dsm.Column, pred Predicate) float64 {
 		if c.Enc != nil {
 			code, ok := c.Enc.Code(p.Value)
 			if !ok {
-				return 0
+				return clampFraction(0, len(pos))
 			}
 			for _, i := range pos {
 				if dsm.CodeAt(c, i) == code {
@@ -46,9 +47,22 @@ func estimateFraction(c *dsm.Column, pred Predicate) float64 {
 			}
 		}
 	}
-	f := float64(match) / float64(len(pos))
-	if f < 0.5/float64(len(pos)) {
-		f = 0.5 / float64(len(pos))
+	if len(pos) == 0 {
+		return clampFraction(0, 0)
+	}
+	return clampFraction(float64(match)/float64(len(pos)), len(pos))
+}
+
+// clampFraction clamps a sampled selectivity away from exactly 0: the
+// floor is half a hit over the probe count — the resolution limit of
+// the sample. With no probes at all (an empty column) there is no
+// evidence either way, and the floor degenerates to 0.5.
+func clampFraction(f float64, samples int) float64 {
+	if samples < 1 {
+		samples = 1
+	}
+	if floor := 0.5 / float64(samples); f < floor {
+		return floor
 	}
 	return f
 }

@@ -5,63 +5,74 @@ import (
 
 	"monetlite/internal/bat"
 	"monetlite/internal/dsm"
-	"monetlite/internal/memsim"
 )
 
 // Shared column gathers: every engine operator that materializes a
 // column through a binding (join-column BATs, group keys, measure
 // operands) funnels through these. Like the dsm select fast paths, the
 // native (sim == nil) loops carry no per-element simulator plumbing —
-// no Touch interface calls, no per-row error checks — and read the
-// typed slices directly; instrumented loops mirror every access.
+// no Touch interface calls, no per-row error checks — read the typed
+// slices directly, and fan out over the worker pool in morsels (each
+// morsel fills its own disjoint output range, so the result is
+// byte-identical to a serial fill); instrumented loops stay serial and
+// mirror every access.
 
 // positions resolves the binding's row → storage-position mapping
-// once. A nil result means the identity mapping (unfiltered binding).
-func (b binding) positions() ([]int, error) {
+// once, morsel-parallel on the native path. A nil result means the
+// identity mapping (unfiltered binding).
+func (b binding) positions(ctx *execCtx) ([]int, error) {
 	if b.oids == nil {
 		return nil, nil
 	}
 	out := make([]int, len(b.oids))
-	for i, o := range b.oids {
-		p, ok := b.table.Head.Position(o)
-		if !ok {
-			return nil, fmt.Errorf("engine: OID %d outside table %s", o, b.table.Schema.Name)
+	err := ctx.forMorselsErr(len(b.oids), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			p, ok := b.table.Head.Position(b.oids[i])
+			if !ok {
+				return fmt.Errorf("engine: OID %d outside table %s", b.oids[i], b.table.Schema.Name)
+			}
+			out[i] = p
 		}
-		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // gatherInt64s materializes a numeric column's widened values through
 // the binding.
-func gatherInt64s(sim *memsim.Sim, b binding, c *dsm.Column) ([]int64, error) {
-	pos, err := b.positions()
+func gatherInt64s(ctx *execCtx, b binding, c *dsm.Column) ([]int64, error) {
+	pos, err := b.positions(ctx)
 	if err != nil {
 		return nil, err
 	}
 	n := b.rows()
 	out := make([]int64, n)
-	if sim == nil {
-		switch v := c.Vec.(type) {
-		case *bat.I8Vec:
-			fillInts(out, v.V, pos)
-		case *bat.I16Vec:
-			fillInts(out, v.V, pos)
-		case *bat.I32Vec:
-			fillInts(out, v.V, pos)
-		case *bat.I64Vec:
-			fillInts(out, v.V, pos)
-		default:
-			for i := 0; i < n; i++ {
-				out[i] = c.Vec.Int(at(pos, i))
+	if ctx.sim == nil {
+		ctx.forMorsels(n, func(_, lo, hi int) {
+			switch v := c.Vec.(type) {
+			case *bat.I8Vec:
+				fillInts(out, v.V, pos, lo, hi)
+			case *bat.I16Vec:
+				fillInts(out, v.V, pos, lo, hi)
+			case *bat.I32Vec:
+				fillInts(out, v.V, pos, lo, hi)
+			case *bat.I64Vec:
+				fillInts(out, v.V, pos, lo, hi)
+			default:
+				for i := lo; i < hi; i++ {
+					out[i] = c.Vec.Int(at(pos, i))
+				}
 			}
-		}
+		})
 		return out, nil
 	}
-	c.Vec.Bind(sim)
+	c.Vec.Bind(ctx.sim)
 	for i := 0; i < n; i++ {
 		p := at(pos, i)
-		c.Vec.Touch(sim, p)
+		c.Vec.Touch(ctx.sim, p)
 		out[i] = c.Vec.Int(p)
 	}
 	return out, nil
@@ -69,8 +80,8 @@ func gatherInt64s(sim *memsim.Sim, b binding, c *dsm.Column) ([]int64, error) {
 
 // gatherCodes materializes an encoded column's unsigned dictionary
 // codes through the binding.
-func gatherCodes(sim *memsim.Sim, b binding, c *dsm.Column) ([]int64, error) {
-	out, err := gatherInt64s(sim, b, c)
+func gatherCodes(ctx *execCtx, b binding, c *dsm.Column) ([]int64, error) {
+	out, err := gatherInt64s(ctx, b, c)
 	if err != nil {
 		return nil, err
 	}
@@ -83,54 +94,58 @@ func gatherCodes(sim *memsim.Sim, b binding, c *dsm.Column) ([]int64, error) {
 		wrap = 1 << 16
 	}
 	if wrap != 0 {
-		for i, v := range out {
-			if v < 0 {
-				out[i] = v + wrap
+		ctx.forMorsels(len(out), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if out[i] < 0 {
+					out[i] += wrap
+				}
 			}
-		}
+		})
 	}
 	return out, nil
 }
 
 // gatherFloat64s materializes a numeric column as floats through the
 // binding (integer and date columns widen).
-func gatherFloat64s(sim *memsim.Sim, b binding, c *dsm.Column) ([]float64, error) {
-	pos, err := b.positions()
+func gatherFloat64s(ctx *execCtx, b binding, c *dsm.Column) ([]float64, error) {
+	pos, err := b.positions(ctx)
 	if err != nil {
 		return nil, err
 	}
 	n := b.rows()
 	out := make([]float64, n)
-	if sim == nil {
-		switch v := c.Vec.(type) {
-		case *bat.F64Vec:
-			if pos == nil {
-				copy(out, v.V)
-			} else {
-				for i, p := range pos {
-					out[i] = v.V[p]
+	if ctx.sim == nil {
+		ctx.forMorsels(n, func(_, lo, hi int) {
+			switch v := c.Vec.(type) {
+			case *bat.F64Vec:
+				if pos == nil {
+					copy(out[lo:hi], v.V[lo:hi])
+				} else {
+					for i := lo; i < hi; i++ {
+						out[i] = v.V[pos[i]]
+					}
+				}
+			case *bat.I8Vec:
+				fillFloats(out, v.V, pos, lo, hi)
+			case *bat.I16Vec:
+				fillFloats(out, v.V, pos, lo, hi)
+			case *bat.I32Vec:
+				fillFloats(out, v.V, pos, lo, hi)
+			case *bat.I64Vec:
+				fillFloats(out, v.V, pos, lo, hi)
+			default:
+				for i := lo; i < hi; i++ {
+					out[i] = float64(c.Vec.Int(at(pos, i)))
 				}
 			}
-		case *bat.I8Vec:
-			fillFloats(out, v.V, pos)
-		case *bat.I16Vec:
-			fillFloats(out, v.V, pos)
-		case *bat.I32Vec:
-			fillFloats(out, v.V, pos)
-		case *bat.I64Vec:
-			fillFloats(out, v.V, pos)
-		default:
-			for i := 0; i < n; i++ {
-				out[i] = float64(c.Vec.Int(at(pos, i)))
-			}
-		}
+		})
 		return out, nil
 	}
-	c.Vec.Bind(sim)
+	c.Vec.Bind(ctx.sim)
 	fv, isFloat := c.Vec.(*bat.F64Vec)
 	for i := 0; i < n; i++ {
 		p := at(pos, i)
-		c.Vec.Touch(sim, p)
+		c.Vec.Touch(ctx.sim, p)
 		if isFloat {
 			out[i] = fv.Float(p)
 		} else {
@@ -148,29 +163,30 @@ func at(pos []int, i int) int {
 	return pos[i]
 }
 
-// fillInts widens one typed slice through an optional position list.
-func fillInts[T int8 | int16 | int32 | int64](dst []int64, src []T, pos []int) {
+// fillInts widens rows [lo, hi) of one typed slice through an optional
+// position list.
+func fillInts[T int8 | int16 | int32 | int64](dst []int64, src []T, pos []int, lo, hi int) {
 	if pos == nil {
-		for i := range dst {
+		for i := lo; i < hi; i++ {
 			dst[i] = int64(src[i])
 		}
 		return
 	}
-	for i, p := range pos {
-		dst[i] = int64(src[p])
+	for i := lo; i < hi; i++ {
+		dst[i] = int64(src[pos[i]])
 	}
 }
 
-// fillFloats converts one typed integer slice through an optional
-// position list.
-func fillFloats[T int8 | int16 | int32 | int64](dst []float64, src []T, pos []int) {
+// fillFloats converts rows [lo, hi) of one typed integer slice through
+// an optional position list.
+func fillFloats[T int8 | int16 | int32 | int64](dst []float64, src []T, pos []int, lo, hi int) {
 	if pos == nil {
-		for i := range dst {
+		for i := lo; i < hi; i++ {
 			dst[i] = float64(src[i])
 		}
 		return
 	}
-	for i, p := range pos {
-		dst[i] = float64(src[p])
+	for i := lo; i < hi; i++ {
+		dst[i] = float64(src[pos[i]])
 	}
 }

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// Planner/eval hardening regressions: a malformed query must surface a
+// plan-time error, never a panic or a degenerate estimate, on a
+// long-running server.
+
+// TestEstimateFractionNeverZero: every exit of estimateFraction must
+// respect the documented clamp away from 0 — in particular the
+// dictionary-miss path (predicate value absent from the encoding) and
+// a predicate matching no sampled row. A zero estimate collapses all
+// downstream cardinalities and degenerates the join/grouping choices.
+func TestEstimateFractionNeverZero(t *testing.T) {
+	tbl := itemTable(t, 4096)
+	ship, err := tbl.Column("shipmode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := estimateFraction(ship, EqStringPred{Col: "shipmode", Value: "NOSUCH"}); f <= 0 {
+		t.Errorf("dictionary miss estimated fraction %g, want > 0 (clamped)", f)
+	}
+	date, err := tbl.Column("date1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := estimateFraction(date, RangePred{Col: "date1", Lo: -9, Hi: -1}); f <= 0 {
+		t.Errorf("no-match range estimated fraction %g, want > 0 (clamped)", f)
+	}
+	// The clamp must not disturb estimates the sample supports.
+	if f := estimateFraction(date, RangePred{Col: "date1", Lo: 0, Hi: 1 << 30}); f < 0.9 {
+		t.Errorf("match-all range estimated fraction %g, want ~1", f)
+	}
+}
+
+// TestPlanRejectsMalformedMeasures: expression defects that previously
+// panicked during evaluation (unknown operators, nil sub-expressions)
+// must come back as errors from Plan.
+func TestPlanRejectsMalformedMeasures(t *testing.T) {
+	tbl := itemTable(t, 128)
+	ga := func(m Expr) Node {
+		return &GroupAggNode{Input: &ScanNode{Table: tbl}, Key: "shipmode", Measure: m}
+	}
+	cases := []struct {
+		name    string
+		measure Expr
+		wantSub string
+	}{
+		{"unknown operator", BinExpr{Op: '%', L: ColExpr{Name: "price"}, R: ConstExpr{V: 2}}, "unknown operator"},
+		{"nil left operand", BinExpr{Op: '+', R: ConstExpr{V: 1}}, "nil measure"},
+		{"nil right operand", BinExpr{Op: '*', L: ColExpr{Name: "price"}}, "nil measure"},
+		{"nested bad operator", BinExpr{Op: '+',
+			L: ColExpr{Name: "price"},
+			R: BinExpr{Op: '^', L: ConstExpr{V: 2}, R: ConstExpr{V: 3}}}, "unknown operator"},
+		{"empty column name", BinExpr{Op: '-', L: ColExpr{}, R: ConstExpr{V: 0}}, "empty name"},
+	}
+	for _, tc := range cases {
+		_, err := Plan(ga(tc.measure), Config{})
+		if err == nil {
+			t.Errorf("%s: Plan succeeded, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+	// A deep well-formed expression must still plan and run.
+	ok := ga(BinExpr{Op: '/',
+		L: BinExpr{Op: '*', L: ColExpr{Name: "price"}, R: BinExpr{Op: '-', L: ConstExpr{V: 1}, R: ColExpr{Name: "discnt"}}},
+		R: BinExpr{Op: '+', L: ConstExpr{V: 1}, R: ColExpr{Name: "tax"}}})
+	plan, err := Plan(ok, Config{})
+	if err != nil {
+		t.Fatalf("well-formed measure rejected: %v", err)
+	}
+	if _, err := plan.Run(nil); err != nil {
+		t.Fatalf("well-formed measure failed to run: %v", err)
+	}
+}

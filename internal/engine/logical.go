@@ -192,6 +192,39 @@ func (e BinExpr) eval(cols [][]float64, i int) float64 {
 	panic(fmt.Sprintf("engine: unknown operator %q", string(e.Op)))
 }
 
+// validateExpr checks a measure expression at plan time, so malformed
+// expressions surface as errors from Plan/Run instead of panicking
+// during evaluation on a long-running server: every node must be a
+// known expression type, every operator one of + - * /, and no
+// sub-expression nil. After validation, bindExpr resolves every
+// ColExpr, so the defensive eval panics below are unreachable from the
+// public API.
+func validateExpr(e Expr) error {
+	switch x := e.(type) {
+	case nil:
+		return fmt.Errorf("engine: nil measure sub-expression")
+	case ColExpr:
+		if x.Name == "" {
+			return fmt.Errorf("engine: measure column reference with empty name")
+		}
+		return nil
+	case ConstExpr:
+		return nil
+	case BinExpr:
+		switch x.Op {
+		case '+', '-', '*', '/':
+		default:
+			return fmt.Errorf("engine: unknown operator %q in measure expression", string(x.Op))
+		}
+		if err := validateExpr(x.L); err != nil {
+			return err
+		}
+		return validateExpr(x.R)
+	default:
+		return fmt.Errorf("engine: unsupported measure expression %T", e)
+	}
+}
+
 // boundExpr is a ColExpr resolved to an operand-column index.
 type boundExpr struct {
 	ColExpr

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"monetlite/internal/agg"
+	"monetlite/internal/core"
+)
+
+// Morsel-driven parallel execution: every materializing operator
+// splits its input into fixed-size morsels (core.MorselRows) and fans
+// them out over the core.Options worker pool carried by the execCtx.
+// Two invariants keep results byte-identical to serial execution for
+// any Parallelism setting:
+//
+//   - Merge order is a function of morsel boundaries, never of worker
+//     scheduling: per-morsel buffers concatenate (or, for aggregates,
+//     partials merge) in morsel index order.
+//   - The native path always uses the morsel decomposition when the
+//     input spans more than one morsel — Parallelism only sizes the
+//     pool that drains the morsels — so serial (Parallelism: 1) and
+//     parallel runs compute, e.g., float sums in exactly the same
+//     association order.
+//
+// Instrumented runs (sim != nil) never parallelize: the memory
+// simulator models a single CPU and is documented single-goroutine, so
+// execCtx.par reports 1 and every operator takes its serial loop.
+
+// par resolves the degree of parallelism for an operator stage over n
+// rows: 1 under a simulator, otherwise the configured worker bound
+// clamped by the morsel count (core.Options.WorkersFor).
+func (ctx *execCtx) par(n int) int {
+	if ctx.sim != nil {
+		return 1
+	}
+	return ctx.opt.WorkersFor(n)
+}
+
+// planPar is the plan-time counterpart of execCtx.par, computed from
+// the estimated cardinality for the EXPLAIN annotation (native runs;
+// instrumented runs are always serial).
+func planPar(cfg Config, rows float64) int {
+	n := int(rows)
+	if float64(n) < rows {
+		n++
+	}
+	return cfg.Opt.WorkersFor(n)
+}
+
+// forMorsels runs body(m, lo, hi) for every morsel of an n-row input
+// on the worker pool. body must write only morsel-m-local state.
+func (ctx *execCtx) forMorsels(n int, body func(m, lo, hi int)) {
+	core.ForMorsels(ctx.par(n), n, body)
+}
+
+// forMorselsErr is forMorsels for fallible bodies: every morsel runs,
+// and the first error in morsel order is returned (deterministic
+// regardless of scheduling).
+func (ctx *execCtx) forMorselsErr(n int, body func(m, lo, hi int) error) error {
+	nm := core.MorselsOf(n)
+	if ctx.par(n) <= 1 {
+		// Inline fast path: stop at the first error like a plain loop.
+		for m := 0; m < nm; m++ {
+			lo, hi := core.MorselBounds(m, n)
+			if err := body(m, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, nm)
+	core.ForMorsels(ctx.par(n), n, func(m, lo, hi int) {
+		errs[m] = body(m, lo, hi)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefixSum turns per-morsel counts into start offsets, returning the
+// total.
+func prefixSum(counts []int) (starts []int, total int) {
+	starts = make([]int, len(counts))
+	for m, c := range counts {
+		starts[m] = total
+		total += c
+	}
+	return starts, total
+}
+
+// mergeGroupPartials combines per-morsel grouping partials by group
+// key, in morsel index order: counts and sums accumulate, min/max
+// fold. Because the iteration order is (morsel, partial row) — both
+// deterministic — the merged sums associate identically however many
+// workers computed the partials.
+func mergeGroupPartials(partials []*agg.GroupResult) *agg.GroupResult {
+	slots := make(map[int64]int)
+	out := &agg.GroupResult{}
+	for _, p := range partials {
+		for i, k := range p.Key {
+			s, ok := slots[k]
+			if !ok {
+				s = len(out.Key)
+				slots[k] = s
+				out.Key = append(out.Key, k)
+				out.Count = append(out.Count, p.Count[i])
+				out.Sum = append(out.Sum, p.Sum[i])
+				out.Min = append(out.Min, p.Min[i])
+				out.Max = append(out.Max, p.Max[i])
+				continue
+			}
+			out.Count[s] += p.Count[i]
+			out.Sum[s] += p.Sum[i]
+			if p.Min[i] < out.Min[s] {
+				out.Min[s] = p.Min[i]
+			}
+			if p.Max[i] > out.Max[s] {
+				out.Max[s] = p.Max[i]
+			}
+		}
+	}
+	return out
+}

@@ -165,6 +165,7 @@ type selectScanOp struct {
 	col  *dsm.Column
 	pred Predicate
 	est  float64 // estimated selected fraction
+	par  int     // planned native degree of parallelism
 	cost costmodel.Breakdown
 }
 
@@ -174,7 +175,7 @@ func (o *selectScanOp) exec(ctx *execCtx) (*fragment, error) {
 		return nil, err
 	}
 	b := in.binds[0]
-	oids, err := scanSelect(ctx.sim, b.table, o.pred)
+	oids, err := scanSelect(ctx, b.table, o.pred)
 	if err != nil {
 		return nil, err
 	}
@@ -192,18 +193,19 @@ func nonNil(oids []bat.Oid) []bat.Oid {
 
 func (o *selectScanOp) label() string { return "Select[scan]" }
 func (o *selectScanOp) detail() string {
-	return fmt.Sprintf("%s  sel~%.2f%%", o.pred, o.est*100)
+	return fmt.Sprintf("%s  sel~%.2f%%  par=%d", o.pred, o.est*100, o.par)
 }
 func (o *selectScanOp) kids() []physOp                 { return []physOp{o.in} }
 func (o *selectScanOp) predicted() costmodel.Breakdown { return o.cost }
 
-// scanSelect runs a full-column scan select over a base table column.
-func scanSelect(sim *memsim.Sim, t *dsm.Table, pred Predicate) ([]bat.Oid, error) {
+// scanSelect runs a full-column scan select over a base table column
+// on the context's execution engine (morsel-parallel when native).
+func scanSelect(ctx *execCtx, t *dsm.Table, pred Predicate) ([]bat.Oid, error) {
 	switch p := pred.(type) {
 	case RangePred:
-		return t.SelectRange(sim, p.Col, p.Lo, p.Hi)
+		return t.SelectRangeOpts(ctx.sim, p.Col, p.Lo, p.Hi, ctx.opt)
 	case EqStringPred:
-		return t.SelectString(sim, p.Col, p.Value)
+		return t.SelectStringOpts(ctx.sim, p.Col, p.Value, ctx.opt)
 	}
 	return nil, fmt.Errorf("engine: unsupported predicate %T", pred)
 }
@@ -339,6 +341,7 @@ type refilterOp struct {
 	col     *dsm.Column
 	pred    Predicate
 	est     float64
+	par     int // planned native degree of parallelism
 	cost    costmodel.Breakdown
 }
 
@@ -349,79 +352,112 @@ func (o *refilterOp) exec(ctx *execCtx) (*fragment, error) {
 	}
 	b := in.binds[o.bindIdx]
 	n := b.rows()
-	keep := make([]bool, n)
-	c := o.col
 
-	kept := 0
-	mark := func(i int) {
-		keep[i] = true
-		kept++
+	// Evaluate the predicate into per-morsel buffers of kept row
+	// indices (native runs test morsels on the worker pool; the morsel
+	// decomposition itself is worker-count-independent, so any
+	// Parallelism produces the same buffers).
+	kept, err := o.refilterKeep(ctx, b, n)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.sim != nil {
+		ctx.sim.AddCPU(n, ctx.machine.Cost.WScanBUN/4)
+	}
+
+	// Prefix-sum the per-morsel match counts, then every binding's OID
+	// list fills in parallel: morsel m writes rows [starts[m], ...) —
+	// disjoint ranges concatenating in morsel order, byte-identical to
+	// a serial rewrite.
+	counts := make([]int, len(kept))
+	for m, k := range kept {
+		counts[m] = len(k)
+	}
+	starts, total := prefixSum(counts)
+	out := &fragment{binds: make([]binding, len(in.binds))}
+	for bi, ib := range in.binds {
+		oids := make([]bat.Oid, total)
+		ctx.forMorsels(n, func(m, _, _ int) {
+			at := starts[m]
+			for _, r := range kept[m] {
+				oids[at] = ib.rowOid(int(r))
+				at++
+			}
+		})
+		out.binds[bi] = binding{table: ib.table, oids: oids}
+	}
+	return out, nil
+}
+
+// refilterKeep tests the refilter predicate over the binding, morsel
+// by morsel, returning each morsel's kept row indices in row order.
+func (o *refilterOp) refilterKeep(ctx *execCtx, b binding, n int) ([][]int32, error) {
+	c := o.col
+	kept := make([][]int32, core.MorselsOf(n))
+	testRange := func(vals []int64, lo, hi int64) {
+		ctx.forMorsels(n, func(m, from, to int) {
+			var local []int32
+			for i := from; i < to; i++ {
+				if vals[i] >= lo && vals[i] <= hi {
+					local = append(local, int32(i))
+				}
+			}
+			kept[m] = local
+		})
 	}
 	switch p := o.pred.(type) {
 	case RangePred:
-		vals, err := gatherInt64s(ctx.sim, b, c)
+		vals, err := gatherInt64s(ctx, b, c)
 		if err != nil {
 			return nil, err
 		}
-		for i, v := range vals {
-			if v >= p.Lo && v <= p.Hi {
-				mark(i)
-			}
-		}
+		testRange(vals, p.Lo, p.Hi)
 	case EqStringPred:
 		switch {
 		case c.Enc != nil:
 			code, ok := c.Enc.Code(p.Value)
-			if ok {
-				codes, err := gatherCodes(ctx.sim, b, c)
-				if err != nil {
-					return nil, err
-				}
-				for i, v := range codes {
-					if v == code {
-						mark(i)
-					}
-				}
+			if !ok {
+				break // value outside dictionary: nothing matches
 			}
+			codes, err := gatherCodes(ctx, b, c)
+			if err != nil {
+				return nil, err
+			}
+			testRange(codes, code, code)
 		default:
 			sv, ok := c.Vec.(*bat.StrVec)
 			if !ok {
 				return nil, fmt.Errorf("engine: column %q is not a string column", p.Col)
 			}
 			sv.Bind(ctx.sim)
-			for i := 0; i < n; i++ {
-				pos, err := b.pos(i)
-				if err != nil {
-					return nil, err
+			err := ctx.forMorselsErr(n, func(m, from, to int) error {
+				var local []int32
+				for i := from; i < to; i++ {
+					pos, err := b.pos(i)
+					if err != nil {
+						return err
+					}
+					sv.Touch(ctx.sim, pos)
+					if sv.Str(pos) == p.Value {
+						local = append(local, int32(i))
+					}
 				}
-				sv.Touch(ctx.sim, pos)
-				if sv.Str(pos) == p.Value {
-					mark(i)
-				}
+				kept[m] = local
+				return nil
+			})
+			if err != nil {
+				return nil, err
 			}
 		}
 	default:
 		return nil, fmt.Errorf("engine: unsupported predicate %T", o.pred)
 	}
-	if ctx.sim != nil {
-		ctx.sim.AddCPU(n, ctx.machine.Cost.WScanBUN/4)
-	}
-	out := &fragment{binds: make([]binding, len(in.binds))}
-	for bi, ib := range in.binds {
-		oids := make([]bat.Oid, 0, kept)
-		for i := 0; i < n; i++ {
-			if keep[i] {
-				oids = append(oids, ib.rowOid(i))
-			}
-		}
-		out.binds[bi] = binding{table: ib.table, oids: oids}
-	}
-	return out, nil
+	return kept, nil
 }
 
 func (o *refilterOp) label() string { return "Select[refilter]" }
 func (o *refilterOp) detail() string {
-	return fmt.Sprintf("%s  sel~%.2f%%", o.pred, o.est*100)
+	return fmt.Sprintf("%s  sel~%.2f%%  par=%d", o.pred, o.est*100, o.par)
 }
 func (o *refilterOp) kids() []physOp                 { return []physOp{o.in} }
 func (o *refilterOp) predicted() costmodel.Breakdown { return o.cost }
@@ -436,6 +472,7 @@ type joinOp struct {
 	leftName, rightName string
 	plan                core.Plan
 	card                int // planned cardinality (max of the estimates)
+	par                 int // planned native degree of parallelism
 	cost                costmodel.Breakdown
 }
 
@@ -448,11 +485,11 @@ func (o *joinOp) exec(ctx *execCtx) (*fragment, error) {
 	if err != nil {
 		return nil, err
 	}
-	l, err := materializeJoinColumn(ctx.sim, lf.binds[o.leftIdx], o.leftCol, o.leftName)
+	l, err := materializeJoinColumn(ctx, lf.binds[o.leftIdx], o.leftCol, o.leftName)
 	if err != nil {
 		return nil, err
 	}
-	r, err := materializeJoinColumn(ctx.sim, rf.binds[o.rightIdx], o.rightCol, o.rightName)
+	r, err := materializeJoinColumn(ctx, rf.binds[o.rightIdx], o.rightCol, o.rightName)
 	if err != nil {
 		return nil, err
 	}
@@ -462,14 +499,14 @@ func (o *joinOp) exec(ctx *execCtx) (*fragment, error) {
 	}
 	out := &fragment{binds: make([]binding, 0, len(lf.binds)+len(rf.binds))}
 	for _, b := range lf.binds {
-		nb, err := remapBinding(b, idx, true)
+		nb, err := remapBinding(ctx, b, idx, true)
 		if err != nil {
 			return nil, err
 		}
 		out.binds = append(out.binds, nb)
 	}
 	for _, b := range rf.binds {
-		nb, err := remapBinding(b, idx, false)
+		nb, err := remapBinding(ctx, b, idx, false)
 		if err != nil {
 			return nil, err
 		}
@@ -480,7 +517,7 @@ func (o *joinOp) exec(ctx *execCtx) (*fragment, error) {
 
 func (o *joinOp) label() string { return fmt.Sprintf("Join[%s]", o.plan) }
 func (o *joinOp) detail() string {
-	return fmt.Sprintf("%s = %s  card~%d", o.leftName, o.rightName, o.card)
+	return fmt.Sprintf("%s = %s  card~%d  par=%d", o.leftName, o.rightName, o.card, o.par)
 }
 func (o *joinOp) kids() []physOp                 { return []physOp{o.left, o.right} }
 func (o *joinOp) predicted() costmodel.Breakdown { return o.cost }
@@ -488,7 +525,8 @@ func (o *joinOp) predicted() costmodel.Breakdown { return o.cost }
 // materializeJoinColumn builds the [row, value] BAT feeding the join
 // kernels: heads are row indices into the intermediate (not table
 // OIDs), tails the gathered column values, which must fit uint32.
-func materializeJoinColumn(sim *memsim.Sim, b binding, c *dsm.Column, name string) (*bat.Pairs, error) {
+// Native runs fill the BAT morsel-parallel.
+func materializeJoinColumn(ctx *execCtx, b binding, c *dsm.Column, name string) (*bat.Pairs, error) {
 	switch c.Def.Type {
 	case dsm.LInt, dsm.LDate:
 	default:
@@ -497,38 +535,53 @@ func materializeJoinColumn(sim *memsim.Sim, b binding, c *dsm.Column, name strin
 	if c.Enc != nil {
 		return nil, fmt.Errorf("engine: join column %s is dictionary-encoded", name)
 	}
-	vals, err := gatherInt64s(sim, b, c)
+	vals, err := gatherInt64s(ctx, b, c)
 	if err != nil {
 		return nil, err
 	}
 	pairs := bat.NewPairs(len(vals))
-	pairs.Bind(sim)
-	for i, v := range vals {
-		if v < 0 || v > 1<<32-1 {
-			return nil, fmt.Errorf("engine: join value %d of %s outside uint32", v, name)
+	pairs.Bind(ctx.sim)
+	err = ctx.forMorselsErr(len(vals), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			v := vals[i]
+			if v < 0 || v > 1<<32-1 {
+				return fmt.Errorf("engine: join value %d of %s outside uint32", v, name)
+			}
+			if ctx.sim != nil {
+				ctx.sim.Write(pairs.Addr(i), bat.PairSize)
+			}
+			pairs.BUNs[i] = bat.Pair{Head: bat.Oid(i), Tail: uint32(v)}
 		}
-		if sim != nil {
-			sim.Write(pairs.Addr(i), bat.PairSize)
-		}
-		pairs.BUNs[i] = bat.Pair{Head: bat.Oid(i), Tail: uint32(v)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pairs, nil
 }
 
 // remapBinding routes a pre-join binding through the join index: the
 // index heads (left) or tails (right) are row indices into the old
-// intermediate.
-func remapBinding(b binding, idx *core.JoinIndex, left bool) (binding, error) {
+// intermediate. Native runs remap morsel-parallel (each morsel writes
+// its own output range).
+func remapBinding(ctx *execCtx, b binding, idx *core.JoinIndex, left bool) (binding, error) {
 	oids := make([]bat.Oid, idx.Len())
-	for i, bun := range idx.BUNs {
-		row := int(bun.Tail)
-		if left {
-			row = int(bun.Head)
+	err := ctx.forMorselsErr(idx.Len(), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			bun := idx.BUNs[i]
+			row := int(bun.Tail)
+			if left {
+				row = int(bun.Head)
+			}
+			if row < 0 || row >= b.rows() {
+				return fmt.Errorf("engine: join row %d outside intermediate", row)
+			}
+			oids[i] = b.rowOid(row)
 		}
-		if row < 0 || row >= b.rows() {
-			return binding{}, fmt.Errorf("engine: join row %d outside intermediate", row)
-		}
-		oids[i] = b.rowOid(row)
+		return nil
+	})
+	if err != nil {
+		return binding{}, err
 	}
 	return binding{table: b.table, oids: oids}, nil
 }
@@ -546,6 +599,7 @@ type groupAggOp struct {
 	operands  []opCol // gathered operand columns, in bind order
 	useSort   bool    // sort/merge grouping instead of hash (§3.2)
 	estGroups float64
+	par       int // planned native degree of parallelism
 	cost      costmodel.Breakdown
 }
 
@@ -569,33 +623,33 @@ func (o *groupAggOp) exec(ctx *execCtx) (*fragment, error) {
 	if o.keyCol.Enc != nil {
 		gatherKeys = gatherCodes
 	}
-	keys, err := gatherKeys(ctx.sim, kb, o.keyCol)
+	keys, err := gatherKeys(ctx, kb, o.keyCol)
 	if err != nil {
 		return nil, err
 	}
 
-	// Materialize each measure operand, then evaluate the expression.
+	// Materialize each measure operand, then evaluate the expression
+	// (morsel-parallel when native; eval is per-row, so the values are
+	// bit-identical however the rows are scheduled).
 	cols := make([][]float64, len(o.operands))
 	for ci, op := range o.operands {
-		vals, err := gatherFloat64s(ctx.sim, in.binds[op.bindIdx], op.col)
+		vals, err := gatherFloat64s(ctx, in.binds[op.bindIdx], op.col)
 		if err != nil {
 			return nil, err
 		}
 		cols[ci] = vals
 	}
 	vals := make([]float64, n)
-	for i := range vals {
-		vals[i] = o.measure.eval(cols, i)
-	}
+	ctx.forMorsels(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vals[i] = o.measure.eval(cols, i)
+		}
+	})
 	if ctx.sim != nil {
 		ctx.sim.AddCPU(n*(1+len(o.operands)), ctx.machine.Cost.WScanBUN/4)
 	}
 
-	group := agg.HashGroup
-	if o.useSort {
-		group = agg.SortGroup
-	}
-	res, err := group(ctx.sim, dsm.ShrinkInts(keys), bat.NewF64(vals))
+	res, err := o.group(ctx, keys, vals)
 	if err != nil {
 		return nil, err
 	}
@@ -623,6 +677,38 @@ func (o *groupAggOp) exec(ctx *execCtx) (*fragment, error) {
 	return &fragment{rel: rel}, nil
 }
 
+// group runs the chosen grouping algorithm. Instrumented runs keep the
+// single whole-relation scan the §3.2 cost models describe. Native
+// runs partition the input into morsels, group each morsel
+// independently on the worker pool (hash or sort partials, per the
+// planner's choice), and merge the partials by group key in morsel
+// order — the merge order depends only on the fixed morsel boundaries,
+// so serial and parallel runs produce bit-identical aggregates.
+func (o *groupAggOp) group(ctx *execCtx, keys []int64, vals []float64) (*agg.GroupResult, error) {
+	group := agg.HashGroup
+	if o.useSort {
+		group = agg.SortGroup
+	}
+	n := len(keys)
+	nm := core.MorselsOf(n)
+	if ctx.sim != nil || nm <= 1 {
+		return group(ctx.sim, dsm.ShrinkInts(keys), bat.NewF64(vals))
+	}
+	partials := make([]*agg.GroupResult, nm)
+	err := ctx.forMorselsErr(n, func(m, lo, hi int) error {
+		p, err := group(nil, dsm.ShrinkInts(keys[lo:hi]), bat.NewF64(vals[lo:hi]))
+		if err != nil {
+			return err
+		}
+		partials[m] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeGroupPartials(partials), nil
+}
+
 func (o *groupAggOp) label() string {
 	if o.useSort {
 		return "GroupAggregate[sort]"
@@ -631,7 +717,7 @@ func (o *groupAggOp) label() string {
 }
 
 func (o *groupAggOp) detail() string {
-	return fmt.Sprintf("key=%s measure=%s  groups~%.0f", o.keyName, o.measStr, o.estGroups)
+	return fmt.Sprintf("key=%s measure=%s  groups~%.0f  par=%d", o.keyName, o.measStr, o.estGroups, o.par)
 }
 func (o *groupAggOp) kids() []physOp                 { return []physOp{o.in} }
 func (o *groupAggOp) predicted() costmodel.Breakdown { return o.cost }
@@ -643,6 +729,7 @@ func (o *groupAggOp) predicted() costmodel.Breakdown { return o.cost }
 type projectOp struct {
 	in   physOp
 	cols []projCol
+	par  int // planned native degree of parallelism
 	cost costmodel.Breakdown
 }
 
@@ -680,13 +767,16 @@ func (o *projectOp) detail() string {
 	for i, c := range o.cols {
 		names[i] = c.name
 	}
-	return describeCols(names)
+	return fmt.Sprintf("%s  par=%d", describeCols(names), o.par)
 }
 func (o *projectOp) kids() []physOp                 { return []physOp{o.in} }
 func (o *projectOp) predicted() costmodel.Breakdown { return o.cost }
 
 // materializeColumns gathers the given table-backed columns into a Rel
-// — one positional reconstruction join per column.
+// — one positional reconstruction join per column, each filled
+// morsel-parallel on the native path (every morsel writes a disjoint
+// range of the output column, so the Rel is byte-identical to a serial
+// reconstruction).
 func materializeColumns(ctx *execCtx, in *fragment, cols []projCol) (*Rel, error) {
 	n := in.rows()
 	rel := &Rel{N: n, Cols: make([]RelCol, len(cols))}
@@ -695,18 +785,12 @@ func materializeColumns(ctx *execCtx, in *fragment, cols []projCol) (*Rel, error
 		c := pc.col
 		c.Vec.Bind(ctx.sim)
 		rc := RelCol{Name: pc.name}
+		var fill func(j, pos int)
 		switch {
 		case c.Enc != nil:
 			rc.Kind = KString
 			rc.Strs = make([]string, n)
-			for j := 0; j < n; j++ {
-				pos, err := b.pos(j)
-				if err != nil {
-					return nil, err
-				}
-				c.Vec.Touch(ctx.sim, pos)
-				rc.Strs[j] = c.Enc.Decode(c.Vec.Int(pos))
-			}
+			fill = func(j, pos int) { rc.Strs[j] = c.Enc.Decode(c.Vec.Int(pos)) }
 		case c.Def.Type == dsm.LString:
 			sv, ok := c.Vec.(*bat.StrVec)
 			if !ok {
@@ -714,14 +798,7 @@ func materializeColumns(ctx *execCtx, in *fragment, cols []projCol) (*Rel, error
 			}
 			rc.Kind = KString
 			rc.Strs = make([]string, n)
-			for j := 0; j < n; j++ {
-				pos, err := b.pos(j)
-				if err != nil {
-					return nil, err
-				}
-				sv.Touch(ctx.sim, pos)
-				rc.Strs[j] = sv.Str(pos)
-			}
+			fill = func(j, pos int) { rc.Strs[j] = sv.Str(pos) }
 		case c.Def.Type == dsm.LFloat:
 			fv, ok := c.Vec.(*bat.F64Vec)
 			if !ok {
@@ -729,25 +806,25 @@ func materializeColumns(ctx *execCtx, in *fragment, cols []projCol) (*Rel, error
 			}
 			rc.Kind = KFloat
 			rc.Floats = make([]float64, n)
-			for j := 0; j < n; j++ {
-				pos, err := b.pos(j)
-				if err != nil {
-					return nil, err
-				}
-				fv.Touch(ctx.sim, pos)
-				rc.Floats[j] = fv.Float(pos)
-			}
+			fill = func(j, pos int) { rc.Floats[j] = fv.Float(pos) }
 		default:
 			rc.Kind = KInt
 			rc.Ints = make([]int64, n)
-			for j := 0; j < n; j++ {
+			fill = func(j, pos int) { rc.Ints[j] = c.Vec.Int(pos) }
+		}
+		err := ctx.forMorselsErr(n, func(_, lo, hi int) error {
+			for j := lo; j < hi; j++ {
 				pos, err := b.pos(j)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				c.Vec.Touch(ctx.sim, pos)
-				rc.Ints[j] = c.Vec.Int(pos)
+				fill(j, pos)
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		rel.Cols[i] = rc
 	}

@@ -17,8 +17,12 @@ type Config struct {
 	// (and whose simulator instruments Run, when given one). The zero
 	// value means the Origin2000, the paper's experimental platform.
 	Machine memsim.Machine
-	// Opt tunes the native parallel execution engine for the join
-	// phase. Instrumented runs are always serial (single-CPU sim).
+	// Opt tunes the native parallel execution engine for the whole
+	// operator tree: selects, refilters, gathers, joins and
+	// group-aggregates all split their inputs into morsels and fan
+	// them out over one pool of Opt.Parallelism workers, producing
+	// output byte-identical to serial execution. Instrumented runs
+	// are always serial (single-CPU sim).
 	Opt core.Options
 }
 
@@ -226,6 +230,7 @@ func lower(n Node, cfg Config) (physOp, *shape, error) {
 				op.cost = op.cost.Add(gatherCost(s.rows, columnBytes(c), c.Width(), m))
 			}
 		}
+		op.par = planPar(cfg, s.rows)
 		return op, out, nil
 
 	case *OrderByNode:
@@ -292,6 +297,7 @@ func lowerSelect(x *SelectNode, cfg Config) (physOp, *shape, error) {
 
 	if _, isScan := in.(*scanOp); !isScan {
 		op := &refilterOp{in: in, bindIdx: bi, col: c, pred: x.Pred, est: frac,
+			par:  planPar(cfg, s.rows),
 			cost: refilterCost(s.rows, columnBytes(c), m)}
 		return op, out, nil
 	}
@@ -307,7 +313,8 @@ func lowerSelect(x *SelectNode, cfg Config) (physOp, *shape, error) {
 			return &selectCSSOp{in: in, col: c, pred: rp, est: frac, cost: cssCost}, out, nil
 		}
 	}
-	return &selectScanOp{in: in, col: c, pred: x.Pred, est: frac, cost: scanCost}, out, nil
+	return &selectScanOp{in: in, col: c, pred: x.Pred, est: frac,
+		par: planPar(cfg, float64(n)), cost: scanCost}, out, nil
 }
 
 // predColumn resolves and type-checks the predicate's column.
@@ -421,7 +428,7 @@ func lowerJoin(x *JoinNode, cfg Config) (physOp, *shape, error) {
 		leftIdx: li, rightIdx: ri,
 		leftCol: lc, rightCol: rc,
 		leftName: qualify(ls, li, x.LeftCol), rightName: qualify(rs, ri, x.RightCol),
-		plan: plan, card: card, cost: cost,
+		plan: plan, card: card, par: planPar(cfg, float64(card)), cost: cost,
 	}
 	out := &shape{
 		tables: append(append([]*dsm.Table{}, ls.tables...), rs.tables...),
@@ -459,7 +466,11 @@ func lowerGroupAgg(x *GroupAggNode, cfg Config) (physOp, *shape, error) {
 	if x.Measure == nil {
 		return nil, nil, fmt.Errorf("engine: GroupAggregate needs a measure expression")
 	}
-	op := &groupAggOp{in: in, bindIdx: ki, keyCol: kc, keyName: x.Key, measStr: x.Measure.String()}
+	if err := validateExpr(x.Measure); err != nil {
+		return nil, nil, err
+	}
+	op := &groupAggOp{in: in, bindIdx: ki, keyCol: kc, keyName: x.Key, measStr: x.Measure.String(),
+		par: planPar(cfg, s.rows)}
 	order := map[string]int{}
 	op.measure = bindExpr(x.Measure, order)
 	op.operands = make([]opCol, len(order))

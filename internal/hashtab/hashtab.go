@@ -116,12 +116,15 @@ func (t *Table) Bind(sim *memsim.Sim) {
 }
 
 // Build resets the table and inserts all tuples of build, mirroring
-// accesses into sim when non-nil (the BAT must be bound then). The
-// build size must not exceed the table's capacity.
+// accesses into sim when non-nil (the BAT must be bound then). A build
+// larger than the table's allocated capacity grows the table first —
+// capacities are sized from cardinality *estimates*, and skewed data
+// routinely exceeds them, which must degrade into a realloc, never a
+// crash.
 func (t *Table) Build(sim *memsim.Sim, build *bat.Pairs) {
 	n := build.Len()
 	if n > len(t.next) {
-		panic(fmt.Sprintf("hashtab: build of %d tuples exceeds capacity %d", n, len(t.next)))
+		t.grow(sim, n)
 	}
 	t.Bind(sim)
 	t.n = n
@@ -150,6 +153,23 @@ func (t *Table) Build(sim *memsim.Sim, build *bat.Pairs) {
 		sim.Write(t.headBase+uint64(h)*4, 4) // new chain head
 		t.next[i] = t.head[h]
 		t.head[h] = int32(i)
+	}
+}
+
+// grow reallocates the head and chain arrays for builds of up to n
+// tuples (the simulated-memory equivalent of a realloc: previously
+// bound tables get fresh simulated addresses for the new regions).
+func (t *Table) grow(sim *memsim.Sim, n int) {
+	t.next = make([]int32, n)
+	if b := BucketsFor(n); b > len(t.head) {
+		t.head = make([]int32, b)
+	}
+	if t.headBase != 0 {
+		// Rebind: the old addresses cover too few slots. With a live sim
+		// allocate the new regions now; otherwise clear the bases so the
+		// next instrumented Bind re-allocates.
+		t.headBase, t.nextBase = 0, 0
+		t.Bind(sim)
 	}
 }
 

@@ -89,13 +89,44 @@ func TestTableReuseAcrossBuilds(t *testing.T) {
 	}
 }
 
-func TestBuildBeyondCapacityPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("oversized build did not panic")
+// TestBuildBeyondCapacityGrows: a build larger than the allocated
+// capacity (an under-estimated cardinality on skewed data) must grow
+// the table and keep probing correctly, not crash.
+func TestBuildBeyondCapacityGrows(t *testing.T) {
+	tab := New(2, Identity)
+	build := pairsOf(1, 2, 3, 4, 5, 6, 7, 8, 9)
+	tab.Build(nil, build)
+	if tab.Cap() < build.Len() {
+		t.Fatalf("Cap = %d after building %d tuples", tab.Cap(), build.Len())
+	}
+	for _, bun := range build.BUNs {
+		hits := 0
+		tab.Probe(nil, build, bun.Tail, func(pos int32) {
+			if build.BUNs[pos].Tail == bun.Tail {
+				hits++
+			}
+		})
+		if hits != 1 {
+			t.Errorf("key %d: %d probe hits after grow, want 1", bun.Tail, hits)
 		}
-	}()
-	New(2, Identity).Build(nil, pairsOf(1, 2, 3))
+	}
+	// Growing an instrumented table must re-allocate simulated space
+	// and keep mirroring accesses.
+	sim := memsim.MustNew(memsim.Origin2000())
+	small := workload.UniquePairs(8, 3)
+	big := workload.UniquePairs(64, 4)
+	small.Bind(sim)
+	big.Bind(sim)
+	itab := New(small.Len(), Identity)
+	itab.Build(sim, small)
+	before := sim.Stats().Accesses
+	itab.Build(sim, big)
+	if itab.Cap() < big.Len() {
+		t.Fatalf("instrumented Cap = %d after building %d tuples", itab.Cap(), big.Len())
+	}
+	if sim.Stats().Accesses <= before {
+		t.Error("instrumented rebuild after grow did no simulated accesses")
+	}
 }
 
 func TestMeanChainLength(t *testing.T) {

@@ -81,8 +81,14 @@ func (q *QueryBuilder) On(m Machine) *QueryBuilder {
 	return q
 }
 
-// Parallel bounds the worker goroutines of the native join phase
-// (0 = GOMAXPROCS, 1 = serial).
+// Parallel bounds the worker goroutines of the whole native operator
+// tree (0 = GOMAXPROCS, 1 = serial): every bulk materializing
+// operator — scan-select, refilter, gather, join, group-aggregate —
+// splits its input into morsels and fans them out over one pool of
+// this size, producing results byte-identical to a serial run. The
+// CSS-tree point-lookup path stays serial (its work is too small to
+// split), and instrumented runs (RunSim) stay strictly serial
+// regardless: the memory simulator models a single CPU.
 func (q *QueryBuilder) Parallel(workers int) *QueryBuilder {
 	q.opt = core.Options{Parallelism: workers}
 	return q
@@ -160,7 +166,8 @@ func (q *QueryBuilder) Explain() (string, error) {
 	return p.Explain(), nil
 }
 
-// Run plans and executes the query natively (parallel join phase).
+// Run plans and executes the query natively (morsel-driven parallel
+// operators; see Parallel).
 func (q *QueryBuilder) Run() (*QueryResult, error) {
 	p, err := q.Plan()
 	if err != nil {

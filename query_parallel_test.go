@@ -1,0 +1,79 @@
+package monetlite
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesShareTable: a decomposed table is immutable, so
+// any number of queries — themselves running morsel-parallel — may
+// execute against it concurrently, as a serving layer would. Run under
+// -race in CI, this is the read-path thread-safety proof: every worker
+// sees identical results, byte for byte, including the CSS-tree index
+// built lazily on first use by whichever query gets there first.
+func TestConcurrentQueriesShareTable(t *testing.T) {
+	items, err := ItemTable(1<<14, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := PartTable(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revenue := Mul(Col("price"), Sub(Const(1), Col("discnt")))
+	builds := []func() *QueryBuilder{
+		func() *QueryBuilder {
+			return Query(items).WhereRange("date1", 8500, 9499).GroupBy("shipmode", revenue)
+		},
+		func() *QueryBuilder {
+			// Narrow range: exercises the shared, lazily built CSS-tree.
+			return Query(items).WhereRange("order", 2000, 2063).Select("order", "qty", "shipmode")
+		},
+		func() *QueryBuilder {
+			return Query(items).
+				WhereRange("date1", 8500, 9499).
+				WhereString("shipmode", "MAIL").
+				JoinTable(parts, "part", "id").
+				GroupBy("category", revenue).
+				OrderBy("sum", true)
+		},
+	}
+	wants := make([]*QueryResult, len(builds))
+	for i, build := range builds {
+		res, err := build().Parallel(1).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = res
+	}
+
+	const goroutines = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(builds)
+				// Alternate serial and parallel plans across workers.
+				res, err := builds[i]().Parallel(1 + g%3).Run()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res.Rel, wants[i].Rel) {
+					t.Errorf("goroutine %d query %d: result differs from reference", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
