@@ -1,28 +1,38 @@
 // Command mlquery runs a canned query set over the Figure-4 Item
 // workload through the cost-model-driven BAT-algebra engine
 // (internal/engine), printing each query's EXPLAIN — the physical
-// operator tree with the model-chosen access paths, join algorithm and
-// radix bits, and per-operator predicted cost — next to its native
-// wall-clock timing, and, with -sim, the simulated cost on the chosen
-// machine profile so prediction and measurement sit side by side.
+// operator tree with the model-chosen access paths, fused pipelines,
+// join algorithm and radix bits, and per-operator predicted cost —
+// next to its native wall-clock timing, and, with -sim, the simulated
+// cost on the chosen machine profile so prediction and measurement sit
+// side by side.
 //
 // Usage:
 //
-//	mlquery [-rows 1048576] [-parts 2000] [-machine origin2k] [-sim] [-par 0] [-verify] [-top 10]
+//	mlquery [-rows 1048576] [-parts 2000] [-machine origin2k] [-sim]
+//	        [-par 0] [-pipeline on|off] [-verify] [-json] [-top 10]
 //
 // -par bounds the worker goroutines of the whole native operator tree
-// (morsel-driven parallelism; 0 = GOMAXPROCS, 1 = serial). -verify
-// additionally runs every query serially and checks the parallel
-// result is byte-identical — the operator-level smoke test CI runs on
-// every push.
+// (morsel-driven parallelism; 0 = GOMAXPROCS, 1 = serial).
+// -pipeline=off forces the legacy MIL-style materializing execution —
+// the A/B baseline for the fused cache-resident pipelines. -verify
+// additionally runs every query serially AND with pipelines off,
+// checking all results byte-identical — the operator-level smoke test
+// CI runs on every push. -json writes one machine-readable report
+// (per-query native ms, result rows, predicted ms, allocation stats —
+// B/op, allocs/op — and, with -sim, the simulated ms and miss counts)
+// to stdout instead of the human output, the format of the repo's
+// BENCH_*.json perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"reflect"
+	"runtime"
 	"time"
 
 	"monetlite"
@@ -36,6 +46,33 @@ type query struct {
 	build func() *monetlite.QueryBuilder
 }
 
+// queryReport is one query's entry in the -json output. The simulated
+// fields are present only under -sim.
+type queryReport struct {
+	Name        string   `json:"name"`
+	SQL         string   `json:"sql"`
+	NativeMS    float64  `json:"native_ms"`
+	ResultRows  int      `json:"result_rows"`
+	PredictedMS float64  `json:"predicted_ms"`
+	BytesPerOp  uint64   `json:"bytes_per_op"`
+	AllocsPerOp uint64   `json:"allocs_per_op"`
+	SimMS       *float64 `json:"simulated_ms,omitempty"`
+	SimL1       *uint64  `json:"simulated_l1_misses,omitempty"`
+	SimL2       *uint64  `json:"simulated_l2_misses,omitempty"`
+	SimTLB      *uint64  `json:"simulated_tlb_misses,omitempty"`
+}
+
+// report is the top-level -json document.
+type report struct {
+	Rows     int           `json:"rows"`
+	Parts    int           `json:"parts"`
+	Machine  string        `json:"machine"`
+	Workers  int           `json:"workers"`
+	Pipeline bool          `json:"pipeline"`
+	GoMaxP   int           `json:"gomaxprocs"`
+	Queries  []queryReport `json:"queries"`
+}
+
 func main() {
 	rows := flag.Int("rows", 1<<20, "Item table cardinality")
 	nparts := flag.Int("parts", 2000, "Part dimension cardinality")
@@ -44,7 +81,9 @@ func main() {
 	var workers int
 	flag.IntVar(&workers, "par", 0, "worker goroutines for every plan operator (0 = GOMAXPROCS, 1 = serial)")
 	flag.IntVar(&workers, "workers", 0, "alias for -par")
-	verify := flag.Bool("verify", false, "cross-check each parallel result byte-identical to a serial run")
+	pipeline := flag.String("pipeline", "on", "\"on\" = fused cache-resident pipelines, \"off\" = legacy materializing execution")
+	verify := flag.Bool("verify", false, "cross-check each result byte-identical to a serial run and to -pipeline=off")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable per-query report (timings + B/op, allocs/op) to stdout")
 	top := flag.Int("top", 10, "result rows to print per query")
 	flag.Parse()
 
@@ -57,8 +96,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mlquery: -rows and -parts must be positive")
 		os.Exit(2)
 	}
+	var pipeOn bool
+	switch *pipeline {
+	case "on":
+		pipeOn = true
+	case "off":
+		pipeOn = false
+	default:
+		fmt.Fprintf(os.Stderr, "mlquery: -pipeline must be \"on\" or \"off\", got %q\n", *pipeline)
+		os.Exit(2)
+	}
+	say := func(format string, args ...any) {
+		if !*jsonOut {
+			fmt.Printf(format, args...)
+		}
+	}
 
-	fmt.Printf("generating item(%d rows) and part(%d rows)...\n", *rows, *nparts)
+	say("generating item(%d rows) and part(%d rows)...\n", *rows, *nparts)
 	t0 := time.Now()
 	items, err := monetlite.ItemTable(*rows, 42)
 	if err != nil {
@@ -68,7 +122,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("done in %v; item decomposed to %d bytes/tuple (N-ary record: %d)\n\n",
+	say("done in %v; item decomposed to %d bytes/tuple (N-ary record: %d)\n\n",
 		time.Since(t0).Round(time.Millisecond), items.BUNWidth(), items.Schema.RowWidth())
 
 	revenue := monetlite.Mul(monetlite.Col("price"),
@@ -123,6 +177,18 @@ func main() {
 					OrderBy("sum", true)
 			},
 		},
+		{
+			name: "Q5 top-20 mail orders by date (limit probe)",
+			sql: "SELECT order, date1, price FROM item WHERE shipmode = 'MAIL'\n" +
+				"AND date1 BETWEEN 8500 AND 9499 LIMIT 20",
+			build: func() *monetlite.QueryBuilder {
+				return monetlite.Query(items).
+					WhereString("shipmode", "MAIL").
+					WhereRange("date1", 8500, 9499).
+					Select("order", "date1", "price").
+					Limit(20)
+			},
+		},
 	}
 
 	// One simulator for the whole session: column BATs bind to the
@@ -137,14 +203,21 @@ func main() {
 		}
 	}
 
+	rep := report{
+		Rows: *rows, Parts: *nparts, Machine: m.Name,
+		Workers: workers, Pipeline: pipeOn, GoMaxP: runtime.GOMAXPROCS(0),
+	}
+
 	for _, q := range queries {
-		fmt.Printf("=== %s ===\n%s\n\n", q.name, q.sql)
-		b := q.build().On(m).Parallel(workers)
+		say("=== %s ===\n%s\n\n", q.name, q.sql)
+		b := q.build().On(m).Parallel(workers).Pipeline(pipeOn)
 		plan, err := b.Plan()
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(plan.Explain())
+		if !*jsonOut {
+			fmt.Print(plan.Explain())
+		}
 
 		t0 := time.Now()
 		res, err := plan.Run(nil)
@@ -152,34 +225,86 @@ func main() {
 			log.Fatal(err)
 		}
 		native := time.Since(t0)
-		fmt.Printf("\nnative: %v, %d result rows\n", native.Round(10*time.Microsecond), res.N())
+		say("\nnative: %v, %d result rows\n", native.Round(10*time.Microsecond), res.N())
 
 		if *verify {
-			serialPlan, err := q.build().On(m).Parallel(1).Plan()
-			if err != nil {
-				log.Fatal(err)
+			for _, alt := range []struct {
+				name  string
+				build func() (*monetlite.QueryResult, error)
+			}{
+				{"serial", func() (*monetlite.QueryResult, error) {
+					return q.build().On(m).Parallel(1).Pipeline(pipeOn).Run()
+				}},
+				{"materializing", func() (*monetlite.QueryResult, error) {
+					return q.build().On(m).Parallel(workers).Pipeline(false).Run()
+				}},
+			} {
+				other, err := alt.build()
+				if err != nil {
+					log.Fatal(err)
+				}
+				if !reflect.DeepEqual(res.Rel, other.Rel) {
+					fmt.Fprintf(os.Stderr, "mlquery: %s: result differs from %s run\n", q.name, alt.name)
+					os.Exit(1)
+				}
 			}
-			serial, err := serialPlan.Run(nil)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if !reflect.DeepEqual(res.Rel, serial.Rel) {
-				fmt.Fprintf(os.Stderr, "mlquery: %s: parallel result differs from serial\n", q.name)
-				os.Exit(1)
-			}
-			fmt.Println("verify: parallel result byte-identical to serial")
+			say("verify: result byte-identical to serial and to -pipeline=off runs\n")
 		}
 
+		var qr queryReport
 		if sim != nil {
 			before := sim.Stats()
 			if _, err := plan.Run(sim); err != nil {
 				log.Fatal(err)
 			}
 			st := sim.Stats().Sub(before)
-			fmt.Printf("simulated on %s: %.1f ms (L1 %d, L2 %d, TLB %d misses) vs predicted %.1f ms\n",
+			say("simulated on %s: %.1f ms (L1 %d, L2 %d, TLB %d misses) vs predicted %.1f ms\n",
 				m.Name, st.ElapsedMillis(), st.L1Misses, st.L2Misses, st.TLBMisses,
 				plan.Predicted().Millis(m))
+			simMS := st.ElapsedMillis()
+			l1, l2, tlb := st.L1Misses, st.L2Misses, st.TLBMisses
+			qr.SimMS, qr.SimL1, qr.SimL2, qr.SimTLB = &simMS, &l1, &l2, &tlb
 		}
-		fmt.Printf("\n%s\n", res.Format(*top))
+
+		if *jsonOut {
+			bpo, apo := measureAllocs(func() {
+				if _, err := plan.Run(nil); err != nil {
+					log.Fatal(err)
+				}
+			})
+			qr.Name = q.name
+			qr.SQL = q.sql
+			qr.NativeMS = float64(native.Nanoseconds()) / 1e6
+			qr.ResultRows = res.N()
+			qr.PredictedMS = plan.Predicted().Millis(m)
+			qr.BytesPerOp = bpo
+			qr.AllocsPerOp = apo
+			rep.Queries = append(rep.Queries, qr)
+		} else {
+			fmt.Printf("\n%s\n", res.Format(*top))
+		}
 	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// measureAllocs reports the heap bytes and allocation count of one run
+// of f, averaged over a few runs (TotalAlloc/Mallocs are monotonic, so
+// concurrent GC cannot skew the deltas).
+func measureAllocs(f func()) (bytesPerOp, allocsPerOp uint64) {
+	const runs = 3
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return (after.TotalAlloc - before.TotalAlloc) / runs,
+		(after.Mallocs - before.Mallocs) / runs
 }

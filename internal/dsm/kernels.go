@@ -1,0 +1,240 @@
+package dsm
+
+import (
+	"fmt"
+
+	"monetlite/internal/bat"
+)
+
+// Into-caller-buffer kernels for the engine's fused pipelines: ranged
+// selects that append matching storage positions into a caller-owned
+// vector, positional refilters that compact a position vector in
+// place, and positional gathers that append (or fill) column values
+// through a position vector. None of them allocate when the caller's
+// buffer has capacity, so a pipeline worker can reuse one small set of
+// vectors across every morsel it drains — the whole point of
+// cache-resident execution. All kernels are native-only: instrumented
+// runs (sim != nil) take the materializing operators, which mirror
+// every access into the simulator.
+
+// SelectRangePos appends the storage positions in [from, to) whose
+// numeric column value lies in [lo, hi] to dst, in ascending order.
+func SelectRangePos(c *Column, lo, hi int64, from, to int, dst []int32) []int32 {
+	switch v := c.Vec.(type) {
+	case *bat.I8Vec:
+		return selectRangePosSlice(v.V, lo, hi, from, to, dst)
+	case *bat.I16Vec:
+		return selectRangePosSlice(v.V, lo, hi, from, to, dst)
+	case *bat.I32Vec:
+		return selectRangePosSlice(v.V, lo, hi, from, to, dst)
+	case *bat.I64Vec:
+		return selectRangePosSlice(v.V, lo, hi, from, to, dst)
+	default:
+		for i := from; i < to; i++ {
+			if x := c.Vec.Int(i); x >= lo && x <= hi {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+}
+
+func selectRangePosSlice[T int8 | int16 | int32 | int64](vals []T, lo, hi int64, from, to int, dst []int32) []int32 {
+	for i, v := range vals[from:to] {
+		if x := int64(v); x >= lo && x <= hi {
+			dst = append(dst, int32(from+i))
+		}
+	}
+	return dst
+}
+
+// SelectCodePos appends the storage positions in [from, to) whose
+// unsigned dictionary code equals code to dst — the §3.1 re-mapped
+// string-equality scan as a pipeline stage.
+func SelectCodePos(c *Column, code int64, from, to int, dst []int32) []int32 {
+	switch v := c.Vec.(type) {
+	case *bat.I8Vec:
+		return selectCodePosSlice(v.V, int8(code), from, to, dst)
+	case *bat.I16Vec:
+		return selectCodePosSlice(v.V, int16(code), from, to, dst)
+	default:
+		for i := from; i < to; i++ {
+			if codeOf(c, i) == code {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+}
+
+func selectCodePosSlice[T int8 | int16](vals []T, code T, from, to int, dst []int32) []int32 {
+	for i, v := range vals[from:to] {
+		if v == code {
+			dst = append(dst, int32(from+i))
+		}
+	}
+	return dst
+}
+
+// FilterRangePos keeps the positions whose numeric column value lies
+// in [lo, hi], compacting pos in place (a refilter pipeline stage).
+func FilterRangePos(c *Column, lo, hi int64, pos []int32) []int32 {
+	switch v := c.Vec.(type) {
+	case *bat.I8Vec:
+		return filterRangePosSlice(v.V, lo, hi, pos)
+	case *bat.I16Vec:
+		return filterRangePosSlice(v.V, lo, hi, pos)
+	case *bat.I32Vec:
+		return filterRangePosSlice(v.V, lo, hi, pos)
+	case *bat.I64Vec:
+		return filterRangePosSlice(v.V, lo, hi, pos)
+	default:
+		out := pos[:0]
+		for _, p := range pos {
+			if x := c.Vec.Int(int(p)); x >= lo && x <= hi {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+}
+
+func filterRangePosSlice[T int8 | int16 | int32 | int64](vals []T, lo, hi int64, pos []int32) []int32 {
+	out := pos[:0]
+	for _, p := range pos {
+		if x := int64(vals[p]); x >= lo && x <= hi {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FilterCodePos keeps the positions whose unsigned dictionary code
+// equals code, compacting pos in place.
+func FilterCodePos(c *Column, code int64, pos []int32) []int32 {
+	switch v := c.Vec.(type) {
+	case *bat.I8Vec:
+		return filterCodePosSlice(v.V, int8(code), pos)
+	case *bat.I16Vec:
+		return filterCodePosSlice(v.V, int16(code), pos)
+	default:
+		out := pos[:0]
+		for _, p := range pos {
+			if codeOf(c, int(p)) == code {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+}
+
+func filterCodePosSlice[T int8 | int16](vals []T, code T, pos []int32) []int32 {
+	out := pos[:0]
+	for _, p := range pos {
+		if vals[p] == code {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AppendIntsPos appends the widened integer values at the given
+// positions to dst (signed, exactly like the materializing gather).
+func AppendIntsPos(dst []int64, c *Column, pos []int32) []int64 {
+	switch v := c.Vec.(type) {
+	case *bat.I8Vec:
+		return appendIntsPosSlice(dst, v.V, pos)
+	case *bat.I16Vec:
+		return appendIntsPosSlice(dst, v.V, pos)
+	case *bat.I32Vec:
+		return appendIntsPosSlice(dst, v.V, pos)
+	case *bat.I64Vec:
+		return appendIntsPosSlice(dst, v.V, pos)
+	default:
+		for _, p := range pos {
+			dst = append(dst, c.Vec.Int(int(p)))
+		}
+		return dst
+	}
+}
+
+func appendIntsPosSlice[T int8 | int16 | int32 | int64](dst []int64, vals []T, pos []int32) []int64 {
+	for _, p := range pos {
+		dst = append(dst, int64(vals[p]))
+	}
+	return dst
+}
+
+// AppendCodesPos appends the unsigned dictionary codes at the given
+// positions to dst (the wraparound-corrected form the group keys use).
+func AppendCodesPos(dst []int64, c *Column, pos []int32) []int64 {
+	wrap := CodeWrap(c)
+	at := len(dst)
+	dst = AppendIntsPos(dst, c, pos)
+	if wrap != 0 {
+		for i := at; i < len(dst); i++ {
+			if dst[i] < 0 {
+				dst[i] += wrap
+			}
+		}
+	}
+	return dst
+}
+
+// AppendFloatsPos appends the float-widened values at the given
+// positions to dst.
+func AppendFloatsPos(dst []float64, c *Column, pos []int32) []float64 {
+	switch v := c.Vec.(type) {
+	case *bat.F64Vec:
+		for _, p := range pos {
+			dst = append(dst, v.V[p])
+		}
+		return dst
+	case *bat.I8Vec:
+		return appendFloatsPosSlice(dst, v.V, pos)
+	case *bat.I16Vec:
+		return appendFloatsPosSlice(dst, v.V, pos)
+	case *bat.I32Vec:
+		return appendFloatsPosSlice(dst, v.V, pos)
+	case *bat.I64Vec:
+		return appendFloatsPosSlice(dst, v.V, pos)
+	default:
+		for _, p := range pos {
+			dst = append(dst, float64(c.Vec.Int(int(p))))
+		}
+		return dst
+	}
+}
+
+func appendFloatsPosSlice[T int8 | int16 | int32 | int64](dst []float64, vals []T, pos []int32) []float64 {
+	for _, p := range pos {
+		dst = append(dst, float64(vals[p]))
+	}
+	return dst
+}
+
+// GatherFloatsPos fills dst[:len(pos)] with the float-widened values
+// at the given positions — the scratch-buffer form AppendFloatsPos
+// takes when the result is consumed immediately (measure operands).
+func GatherFloatsPos(c *Column, pos []int32, dst []float64) []float64 {
+	return AppendFloatsPos(dst[:0], c, pos)
+}
+
+// AppendStringsPos appends the decoded string values at the given
+// positions to dst (dictionary decode, or direct string storage).
+func AppendStringsPos(dst []string, c *Column, pos []int32) ([]string, error) {
+	if c.Enc != nil {
+		for _, p := range pos {
+			dst = append(dst, c.Enc.Decode(c.Vec.Int(int(p))))
+		}
+		return dst, nil
+	}
+	sv, ok := c.Vec.(*bat.StrVec)
+	if !ok {
+		return nil, fmt.Errorf("dsm: column %q is not a string column", c.Def.Name)
+	}
+	for _, p := range pos {
+		dst = append(dst, sv.Str(int(p)))
+	}
+	return dst, nil
+}

@@ -131,6 +131,30 @@ func groupCost(n int, g float64, useSort bool, m memsim.Machine) costmodel.Break
 	return b
 }
 
+// subClamp subtracts a predicted saving from a cost breakdown,
+// clamping every component at zero — a fused pipeline can at best
+// eliminate its intermediates, never go negative. Used for the
+// materialization-traffic term: the bytes the materializing path
+// writes to and re-reads from RAM for inter-operator intermediates
+// (modelled as sequential sweeps via seqBreakdown) that a fused
+// pipeline keeps cache-resident.
+func subClamp(b, saved costmodel.Breakdown) costmodel.Breakdown {
+	out := b.Add(saved.Scale(-1))
+	if out.L1Misses < 0 {
+		out.L1Misses = 0
+	}
+	if out.L2Misses < 0 {
+		out.L2Misses = 0
+	}
+	if out.TLBMisses < 0 {
+		out.TLBMisses = 0
+	}
+	if out.CPUNanos < 0 {
+		out.CPUNanos = 0
+	}
+	return out
+}
+
 // orderByCost predicts a comparison sort of n keys of the given width.
 func orderByCost(n int, width int, m memsim.Machine) costmodel.Breakdown {
 	lg := math.Log2(float64(n) + 2)

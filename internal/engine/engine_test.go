@@ -164,7 +164,9 @@ func TestGroupingChoiceAndCostModel(t *testing.T) {
 	few := mustPlan(t, &GroupAggNode{
 		Input: &ScanNode{Table: tbl}, Key: "shipmode", Measure: ColExpr{Name: "price"},
 	})
-	fo := few.root.(*groupAggOp)
+	// An aggregate over a bare scan fuses; the grouping choice lives on
+	// the pipeline's GroupAggregate sink.
+	fo := few.root.(*pipelineOp).gagg
 	if fo.useSort {
 		t.Errorf("7-group aggregate lowered to sort grouping:\n%s", few.Explain())
 	}

@@ -86,13 +86,7 @@ func gatherCodes(ctx *execCtx, b binding, c *dsm.Column) ([]int64, error) {
 		return nil, err
 	}
 	// Undo the signed storage of the 1-/2-byte code vectors.
-	var wrap int64
-	switch c.Vec.Type() {
-	case bat.TI8:
-		wrap = 1 << 8
-	case bat.TI16:
-		wrap = 1 << 16
-	}
+	wrap := dsm.CodeWrap(c)
 	if wrap != 0 {
 		ctx.forMorsels(len(out), func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {

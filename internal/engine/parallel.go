@@ -78,6 +78,47 @@ func (ctx *execCtx) forMorselsErr(n int, body func(m, lo, hi int) error) error {
 	return nil
 }
 
+// pipeArena is one worker's reusable scratch for pipeline execution:
+// the position vector passed between fused stages and the per-operand
+// gather buffers of an AggFeed sink. A worker reuses its arena across
+// every morsel it drains — per-morsel allocation was the materializing
+// path's overhead the pipelines exist to avoid.
+type pipeArena struct {
+	pos []int32
+	ops [][]float64
+}
+
+// ensure grows the arena to the pipeline's vector size and operand
+// count (no-ops once warm).
+func (a *pipeArena) ensure(vecRows, nops int) {
+	if cap(a.pos) < vecRows {
+		a.pos = make([]int32, 0, vecRows)
+	}
+	for len(a.ops) < nops {
+		a.ops = append(a.ops, nil)
+	}
+	for i := 0; i < nops; i++ {
+		if cap(a.ops[i]) < vecRows {
+			a.ops[i] = make([]float64, 0, vecRows)
+		}
+	}
+}
+
+// arena returns worker w's scratch arena, creating it on first use.
+// Worker ids are exclusive within any one fan-out, and operators run
+// one after another, so slot w is never touched concurrently.
+func (ctx *execCtx) arena(w int) *pipeArena {
+	if w >= len(ctx.arenas) {
+		// Defensive: a fan-out wider than the pre-sized pool (cannot
+		// happen via par()) gets a throwaway arena rather than a panic.
+		return &pipeArena{}
+	}
+	if ctx.arenas[w] == nil {
+		ctx.arenas[w] = &pipeArena{}
+	}
+	return ctx.arenas[w]
+}
+
 // prefixSum turns per-morsel counts into start offsets, returning the
 // total.
 func prefixSum(counts []int) (starts []int, total int) {

@@ -125,6 +125,7 @@ type execCtx struct {
 	sim     *memsim.Sim
 	machine memsim.Machine
 	opt     core.Options
+	arenas  []*pipeArena // per-worker pipeline scratch, reused across morsels
 }
 
 // physOp is one physical operator of a lowered plan.
@@ -615,9 +616,17 @@ func (o *groupAggOp) exec(ctx *execCtx) (*fragment, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := in.rows()
+	keys, vals, err := o.aggInput(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	return o.finish(ctx, keys, vals)
+}
 
-	// Materialize the group-key code column (MIL-style temporary BAT).
+// aggInput materializes the aggregation feed MIL-style: the group-key
+// code column and the evaluated measure, one temporary BAT each.
+func (o *groupAggOp) aggInput(ctx *execCtx, in *fragment) ([]int64, []float64, error) {
+	n := in.rows()
 	kb := in.binds[o.bindIdx]
 	gatherKeys := gatherInt64s
 	if o.keyCol.Enc != nil {
@@ -625,7 +634,7 @@ func (o *groupAggOp) exec(ctx *execCtx) (*fragment, error) {
 	}
 	keys, err := gatherKeys(ctx, kb, o.keyCol)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Materialize each measure operand, then evaluate the expression
@@ -635,7 +644,7 @@ func (o *groupAggOp) exec(ctx *execCtx) (*fragment, error) {
 	for ci, op := range o.operands {
 		vals, err := gatherFloat64s(ctx, in.binds[op.bindIdx], op.col)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cols[ci] = vals
 	}
@@ -648,7 +657,14 @@ func (o *groupAggOp) exec(ctx *execCtx) (*fragment, error) {
 	if ctx.sim != nil {
 		ctx.sim.AddCPU(n*(1+len(o.operands)), ctx.machine.Cost.WScanBUN/4)
 	}
+	return keys, vals, nil
+}
 
+// finish groups the (key, value) feed and builds the result relation.
+// Both execution paths — the materializing operator and the fused
+// pipeline's AggFeed sink — funnel through this one function with
+// identical feed arrays, so their aggregates are bit-identical.
+func (o *groupAggOp) finish(ctx *execCtx, keys []int64, vals []float64) (*fragment, error) {
 	res, err := o.group(ctx, keys, vals)
 	if err != nil {
 		return nil, err
@@ -1008,6 +1024,10 @@ type limitOp struct {
 	n  int
 }
 
+// exec keeps the first n rows by slicing the intermediate in place —
+// no permutation copy. (In pipelined plans a Limit above a fusable
+// chain short-circuits earlier still: the pipeline stops consuming
+// morsels once the prefix has produced n rows.)
 func (o *limitOp) exec(ctx *execCtx) (*fragment, error) {
 	in, err := o.in.exec(ctx)
 	if err != nil {
@@ -1017,11 +1037,36 @@ func (o *limitOp) exec(ctx *execCtx) (*fragment, error) {
 	if o.n < n {
 		n = o.n
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	if in.rel != nil {
+		out := &Rel{N: n, Cols: make([]RelCol, len(in.rel.Cols))}
+		for ci, c := range in.rel.Cols {
+			switch c.Kind {
+			case KInt:
+				c.Ints = c.Ints[:n]
+			case KFloat:
+				c.Floats = c.Floats[:n]
+			default:
+				c.Strs = c.Strs[:n]
+			}
+			out.Cols[ci] = c
+		}
+		return &fragment{rel: out}, nil
 	}
-	return permute(in, idx), nil
+	out := &fragment{binds: make([]binding, len(in.binds))}
+	for bi, b := range in.binds {
+		oids := b.oids
+		if oids == nil {
+			// A void binding has no list to slice; build the prefix.
+			oids = make([]bat.Oid, n)
+			for i := range oids {
+				oids[i] = b.table.Head.Seq + bat.Oid(i)
+			}
+		} else {
+			oids = oids[:n]
+		}
+		out.binds[bi] = binding{table: b.table, oids: oids}
+	}
+	return out, nil
 }
 
 func (o *limitOp) label() string                  { return "Limit" }

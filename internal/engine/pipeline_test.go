@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"monetlite/internal/core"
+	"monetlite/internal/memsim"
+	"monetlite/internal/workload"
+)
+
+// Cross-checks for fused cache-resident pipelines: pipelined execution
+// must be byte-identical to the forced-materializing path
+// (Config.NoPipeline) on every plan shape, at every worker count, on
+// skewed, duplicated, empty and tiny inputs — float aggregates
+// included, bit for bit. Run under -race these tests also prove the
+// pipeline's worker arenas and morsel chunks share no mutable state.
+
+// runPipelineAB plans and runs the same logical DAG with pipelines on
+// and off at the given parallelism, requiring byte-identical
+// relations.
+func runPipelineAB(t *testing.T, name string, root Node, workers int) {
+	t.Helper()
+	opt := core.Options{Parallelism: workers}
+	mat, err := Plan(root, Config{Opt: opt, NoPipeline: true})
+	if err != nil {
+		t.Fatalf("%s: materializing plan: %v", name, err)
+	}
+	if mat.Pipelined() {
+		t.Fatalf("%s: NoPipeline plan contains a pipeline", name)
+	}
+	want, err := mat.Run(nil)
+	if err != nil {
+		t.Fatalf("%s: materializing run: %v", name, err)
+	}
+	piped, err := Plan(root, Config{Opt: opt})
+	if err != nil {
+		t.Fatalf("%s: pipelined plan: %v", name, err)
+	}
+	got, err := piped.Run(nil)
+	if err != nil {
+		t.Fatalf("%s: pipelined run: %v", name, err)
+	}
+	if !reflect.DeepEqual(want.Rel, got.Rel) {
+		t.Errorf("%s (workers=%d): pipelined result differs from materializing (%d vs %d rows)\n%s",
+			name, workers, got.N(), want.N(), piped.Explain())
+	}
+}
+
+// TestPipelinedMatchesMaterializing is the fixed-shape A/B suite:
+// every fusable chain shape (and several breakers mixed in), on
+// skewed/dup/tiny inputs, with morsels shrunk so chunk concatenation
+// and the limit fence actually engage.
+func TestPipelinedMatchesMaterializing(t *testing.T) {
+	shrinkMorsels(t, 512)
+	items := itemTable(t, 8192)
+	parts := partTable(t, 500)
+	skew := skewTable(t, 6000)
+	tiny := skewTable(t, 3)
+
+	revenue := BinExpr{Op: '*', L: ColExpr{Name: "price"},
+		R: BinExpr{Op: '-', L: ConstExpr{V: 1}, R: ColExpr{Name: "discnt"}}}
+
+	sel := func(in Node, p Predicate) Node { return &SelectNode{Input: in, Pred: p} }
+	dateSel := func(in Node) Node { return sel(in, RangePred{Col: "date1", Lo: 8000, Hi: 9999}) }
+
+	cases := []struct {
+		name string
+		root Node
+	}{
+		{"agg over bare scan", &GroupAggNode{
+			Input: &ScanNode{Table: items}, Key: "shipmode", Measure: revenue}},
+		{"agg over select", &GroupAggNode{
+			Input: dateSel(&ScanNode{Table: items}), Key: "shipmode", Measure: revenue}},
+		{"agg over select+refilter", &GroupAggNode{
+			Input: sel(dateSel(&ScanNode{Table: items}), EqStringPred{Col: "status", Value: "F"}),
+			Key:   "status", Measure: ColExpr{Name: "price"}}},
+		{"agg integer key skew", &GroupAggNode{
+			Input: sel(&ScanNode{Table: skew}, RangePred{Col: "payload", Lo: 0, Hi: 700}),
+			Key:   "k", Measure: ColExpr{Name: "v"}}},
+		{"agg tiny table", &GroupAggNode{
+			Input: &ScanNode{Table: tiny}, Key: "tag", Measure: ColExpr{Name: "v"}}},
+		{"agg empty selection", &GroupAggNode{
+			Input: sel(&ScanNode{Table: items}, RangePred{Col: "qty", Lo: -10, Hi: -5}),
+			Key:   "shipmode", Measure: revenue}},
+		{"agg dictionary miss", &GroupAggNode{
+			Input: sel(&ScanNode{Table: items}, EqStringPred{Col: "shipmode", Value: "NOSUCH"}),
+			Key:   "status", Measure: ColExpr{Name: "price"}}},
+		{"project over select", &ProjectNode{
+			Input: sel(&ScanNode{Table: items}, RangePred{Col: "qty", Lo: 5, Hi: 40}),
+			Cols:  []string{"order", "price", "shipmode", "comment"}}},
+		{"project over refilter chain", &ProjectNode{
+			Input: sel(dateSel(&ScanNode{Table: items}), EqStringPred{Col: "shipmode", Value: "MAIL"}),
+			Cols:  []string{"order", "qty", "price"}}},
+		{"double refilter to oids", sel(
+			sel(dateSel(&ScanNode{Table: items}), EqStringPred{Col: "status", Value: "F"}),
+			RangePred{Col: "qty", Lo: 1, Hi: 30})},
+		{"refilter skew hot key", sel(
+			sel(&ScanNode{Table: skew}, RangePred{Col: "payload", Lo: 0, Hi: 500}),
+			RangePred{Col: "k", Lo: 0, Hi: 0})},
+		{"limit over select chain", &LimitNode{
+			Input: sel(dateSel(&ScanNode{Table: items}), EqStringPred{Col: "status", Value: "F"}),
+			N:     37}},
+		{"limit over project", &LimitNode{
+			Input: &ProjectNode{
+				Input: dateSel(&ScanNode{Table: items}),
+				Cols:  []string{"order", "price", "shipmode"}},
+			N: 100}},
+		{"limit zero", &LimitNode{
+			Input: &ProjectNode{
+				Input: dateSel(&ScanNode{Table: items}),
+				Cols:  []string{"order"}},
+			N: 0}},
+		{"limit beyond input", &LimitNode{
+			Input: sel(&ScanNode{Table: tiny}, RangePred{Col: "payload", Lo: 0, Hi: 1000}),
+			N:     1 << 20}},
+		{"pipeline feeding join", &GroupAggNode{
+			Input: &JoinNode{
+				Left:    sel(dateSel(&ScanNode{Table: items}), EqStringPred{Col: "shipmode", Value: "MAIL"}),
+				Right:   &ScanNode{Table: parts},
+				LeftCol: "part", RightCol: "id"},
+			Key: "category", Measure: revenue}},
+		{"orderby over pipeline project", &OrderByNode{
+			Input: &ProjectNode{
+				Input: sel(&ScanNode{Table: items}, RangePred{Col: "qty", Lo: 1, Hi: 25}),
+				Cols:  []string{"order", "price"}},
+			Col: "price", Desc: true}},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 4} {
+			runPipelineAB(t, tc.name, tc.root, workers)
+		}
+	}
+}
+
+// TestRandomPlansPipelinedVsMaterializing is the property test: random
+// select/refilter chains with random sinks, cross-checked pipelined vs
+// forced-materializing at 1 and 4 workers, bit for bit.
+func TestRandomPlansPipelinedVsMaterializing(t *testing.T) {
+	shrinkMorsels(t, 256)
+	items := itemTable(t, 6144)
+	rng := workload.NewRNG(0xF00D)
+	for round := 0; round < 50; round++ {
+		var node Node = &ScanNode{Table: items}
+		nsel := rng.Intn(4)
+		for i := 0; i < nsel; i++ {
+			p, _ := randPred(rng)
+			node = &SelectNode{Input: node, Pred: p}
+		}
+		switch rng.Intn(4) {
+		case 0:
+			key, _ := randKey(rng, false)
+			measure, _ := randMeasure(rng, false)
+			node = &GroupAggNode{Input: node, Key: key, Measure: measure}
+		case 1:
+			node = &ProjectNode{Input: node, Cols: []string{"order", "price", "shipmode"}}
+		case 2:
+			node = &LimitNode{
+				Input: &ProjectNode{Input: node, Cols: []string{"order", "qty"}},
+				N:     rng.Intn(2000),
+			}
+		default:
+			// bare chain: OID-list sink (or no fusion at all — both fine)
+		}
+		for _, workers := range []int{1, 4} {
+			runPipelineAB(t, "random plan", node, workers)
+		}
+	}
+}
+
+// TestOrderByLimitParallelDeterminism: OrderBy's stable sort over a
+// key with heavy duplicates, followed by Limit, must produce the
+// identical prefix at every worker count, pipelined or not — tie
+// order must come from storage order, never from scheduling.
+func TestOrderByLimitParallelDeterminism(t *testing.T) {
+	shrinkMorsels(t, 512)
+	items := itemTable(t, 8192)
+	// qty has ~50 distinct values over 8192 rows: dense ties.
+	root := func() Node {
+		return &LimitNode{
+			Input: &OrderByNode{
+				Input: &ProjectNode{
+					Input: &SelectNode{
+						Input: &ScanNode{Table: items},
+						Pred:  RangePred{Col: "date1", Lo: 8000, Hi: 9999}},
+					Cols: []string{"qty", "order", "price"}},
+				Col: "qty", Desc: false},
+			N: 50}
+	}
+	var want *Result
+	for _, cfg := range []Config{
+		{Opt: core.Serial()},
+		{Opt: core.Options{Parallelism: 4}},
+		{Opt: core.Options{Parallelism: 13}},
+		{Opt: core.Serial(), NoPipeline: true},
+		{Opt: core.Options{Parallelism: 4}, NoPipeline: true},
+	} {
+		plan, err := Plan(root(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := plan.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(want.Rel, res.Rel) {
+			t.Errorf("OrderBy+Limit differs under %+v", cfg)
+		}
+	}
+	// The limit must actually bite, and ties must be in storage order:
+	// within equal qty, the order column ascends.
+	if want.N() != 50 {
+		t.Fatalf("got %d rows, want 50", want.N())
+	}
+	qty, _ := want.Ints("qty")
+	order, _ := want.Ints("order")
+	for i := 1; i < want.N(); i++ {
+		if qty[i] < qty[i-1] {
+			t.Fatalf("qty not ascending at %d", i)
+		}
+		if qty[i] == qty[i-1] && order[i] <= order[i-1] {
+			t.Errorf("tie at qty=%d broken out of storage order (order %d then %d)",
+				qty[i], order[i-1], order[i])
+		}
+	}
+}
+
+// TestPipelineFusionShapes pins which chains fuse and which stay
+// materializing.
+func TestPipelineFusionShapes(t *testing.T) {
+	items := itemTable(t, 8192)
+	parts := partTable(t, 500)
+	dateSel := &SelectNode{Input: &ScanNode{Table: items},
+		Pred: RangePred{Col: "date1", Lo: 8000, Hi: 9999}}
+	cases := []struct {
+		name string
+		root Node
+		want bool
+	}{
+		{"groupagg over scan", &GroupAggNode{
+			Input: &ScanNode{Table: items}, Key: "shipmode", Measure: ColExpr{Name: "price"}}, true},
+		{"project over select", &ProjectNode{Input: dateSel, Cols: []string{"order"}}, true},
+		{"double select", &SelectNode{Input: dateSel,
+			Pred: EqStringPred{Col: "status", Value: "F"}}, true},
+		{"limit over select", &LimitNode{Input: dateSel, N: 10}, true},
+		{"single select", dateSel, false},
+		{"bare projection", &ProjectNode{Input: &ScanNode{Table: items}, Cols: []string{"order"}}, false},
+		{"css point select", &ProjectNode{
+			Input: &SelectNode{Input: &ScanNode{Table: items},
+				Pred: RangePred{Col: "order", Lo: 1000, Hi: 1010}},
+			Cols: []string{"order"}}, false},
+		{"join is a breaker", &JoinNode{
+			Left: &ScanNode{Table: items}, Right: &ScanNode{Table: parts},
+			LeftCol: "part", RightCol: "id"}, false},
+	}
+	for _, tc := range cases {
+		plan, err := Plan(tc.root, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := plan.Pipelined(); got != tc.want {
+			t.Errorf("%s: Pipelined() = %v, want %v\n%s", tc.name, got, tc.want, plan.Explain())
+		}
+		off, err := Plan(tc.root, Config{NoPipeline: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if off.Pipelined() {
+			t.Errorf("%s: NoPipeline plan still fused", tc.name)
+		}
+	}
+}
+
+// TestPipelineExplain: EXPLAIN must print the pipeline grouping with
+// its per-stage detail, parallelism, vector size, and the predicted
+// materialization-traffic saving.
+func TestPipelineExplain(t *testing.T) {
+	plan, err := Plan(&GroupAggNode{
+		Input: &SelectNode{
+			Input: &SelectNode{
+				Input: &ScanNode{Table: itemTable(t, 8192)},
+				Pred:  RangePred{Col: "date1", Lo: 8000, Hi: 9999}},
+			Pred: EqStringPred{Col: "shipmode", Value: "MAIL"}},
+		Key: "shipmode", Measure: ColExpr{Name: "price"},
+	}, Config{Opt: core.Options{Parallelism: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := plan.Explain()
+	for _, want := range []string{
+		"Pipeline[Select→Refilter→Agg]", "saves~", "vec=", "par=",
+		"Scan item", "Select[scan]", "Select[refilter]", "GroupAggregate[hash]",
+	} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("Explain missing %q:\n%s", want, ex)
+		}
+	}
+}
+
+// TestPipelineInstrumentedUnchanged: a pipelined plan run under the
+// simulator must take the serial materializing path — identical
+// simulated stats and results to an explicit NoPipeline plan.
+func TestPipelineInstrumentedUnchanged(t *testing.T) {
+	shrinkMorsels(t, 512)
+	root := func() Node {
+		return &GroupAggNode{
+			Input: &SelectNode{
+				Input: &ScanNode{Table: itemTable(t, 4096)},
+				Pred:  RangePred{Col: "date1", Lo: 8500, Hi: 9499}},
+			Key: "shipmode", Measure: ColExpr{Name: "price"},
+		}
+	}
+	stats := make([]memsim.Stats, 2)
+	rels := make([]*Rel, 2)
+	for i, noPipe := range []bool{false, true} {
+		plan, err := Plan(root(), Config{Opt: core.Options{Parallelism: 8}, NoPipeline: noPipe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := memsim.MustNew(plan.Machine())
+		res, err := plan.Run(sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats[i] = sim.Stats()
+		rels[i] = res.Rel
+	}
+	if stats[0] != stats[1] {
+		t.Errorf("pipelined plan changed the instrumented run:\npipelined %+v\nlegacy    %+v", stats[0], stats[1])
+	}
+	if !reflect.DeepEqual(rels[0], rels[1]) {
+		t.Error("instrumented results differ between pipelined and legacy plans")
+	}
+}

@@ -24,6 +24,13 @@ type Config struct {
 	// output byte-identical to serial execution. Instrumented runs
 	// are always serial (single-CPU sim).
 	Opt core.Options
+	// NoPipeline disables fused cache-resident pipelines: every
+	// operator executes MIL-style, one fully materialized BAT at a
+	// time (the pre-pipeline engine) — the A/B baseline behind
+	// mlquery's -pipeline=off. Results are byte-identical either way;
+	// only the intermediate memory traffic differs. Instrumented runs
+	// always take the materializing path regardless.
+	NoPipeline bool
 }
 
 func (c Config) machine() memsim.Machine {
@@ -40,14 +47,38 @@ type PhysicalPlan struct {
 }
 
 // Plan lowers a logical DAG into a physical operator tree, consulting
-// the cost models for every physical choice (see package doc).
+// the cost models for every physical choice (see package doc), then —
+// unless Config.NoPipeline — fuses maximal non-breaking operator
+// chains into cache-resident pipelines.
 func Plan(root Node, cfg Config) (*PhysicalPlan, error) {
 	cfg.Machine = cfg.machine()
 	op, _, err := lower(root, cfg)
 	if err != nil {
 		return nil, err
 	}
+	if !cfg.NoPipeline {
+		op = fusePipelines(op, cfg)
+	}
 	return &PhysicalPlan{root: op, cfg: cfg}, nil
+}
+
+// Pipelined reports whether the plan contains at least one fused
+// pipeline (false under Config.NoPipeline or when every chain hits a
+// breaker).
+func (p *PhysicalPlan) Pipelined() bool {
+	found := false
+	var walk func(op physOp)
+	walk = func(op physOp) {
+		if _, ok := op.(*pipelineOp); ok {
+			found = true
+			return
+		}
+		for _, k := range op.kids() {
+			walk(k)
+		}
+	}
+	walk(p.root)
+	return found
 }
 
 // Predicted sums the cost-model predictions of every operator.
@@ -67,15 +98,20 @@ func (p *PhysicalPlan) Predicted() costmodel.Breakdown {
 // Machine returns the machine profile the plan was costed for.
 func (p *PhysicalPlan) Machine() memsim.Machine { return p.cfg.Machine }
 
-// Run executes the plan MIL-style: one fully materialized BAT-algebra
-// operator at a time. Pass a nil sim to run natively (parallel join
-// phase available via Config.Opt), or a simulator of the plan's
-// machine to obtain exact L1/L2/TLB miss counts — predicted vs
-// simulated cost, side by side.
+// Run executes the plan. Natively (nil sim), fused chains execute as
+// cache-resident pipelines (vector-at-a-time through per-worker
+// buffers) and everything else morsel-parallel per Config.Opt; with
+// Config.NoPipeline the whole plan runs MIL-style, one fully
+// materialized BAT-algebra operator at a time. Pass a simulator of
+// the plan's machine to obtain exact L1/L2/TLB miss counts on the
+// strictly serial materializing path — predicted vs simulated cost,
+// side by side.
 func (p *PhysicalPlan) Run(sim *memsim.Sim) (*Result, error) {
 	ctx := &execCtx{sim: sim, machine: p.cfg.Machine, opt: p.cfg.Opt}
 	if sim != nil {
 		ctx.opt = core.Serial()
+	} else {
+		ctx.arenas = make([]*pipeArena, ctx.opt.Workers())
 	}
 	frag, err := p.root.exec(ctx)
 	if err != nil {

@@ -1,0 +1,60 @@
+package monetlite
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestPipelineAllocRegression is the allocation-regression gate CI
+// runs on every push: on the canned 1M-row Q1 (select →
+// group-aggregate), fused pipelined execution must allocate measurably
+// fewer bytes per run than the forced-materializing path — the OID
+// lists, position lists and operand temporaries a pipeline never
+// materializes. TotalAlloc/Mallocs are monotonic counters, so the
+// deltas are immune to concurrent GC.
+func TestPipelineAllocRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-row allocation measurement; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("allocation measurement; skipped under the race detector")
+	}
+	const rows = 1 << 20
+	items, err := ItemTable(rows, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(pipe bool) func() {
+		return func() {
+			res, err := Query(items).
+				WhereRange("date1", 8500, 9499).
+				GroupBy("shipmode", Mul(Col("price"), Sub(Const(1), Col("discnt")))).
+				Pipeline(pipe).
+				Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.N() == 0 {
+				t.Fatal("empty result")
+			}
+		}
+	}
+	measure := func(f func()) uint64 {
+		const runs = 3
+		f() // warm up (plan caches, arena growth patterns)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < runs; i++ {
+			f()
+		}
+		runtime.ReadMemStats(&after)
+		return (after.TotalAlloc - before.TotalAlloc) / runs
+	}
+	piped := measure(build(true))
+	mat := measure(build(false))
+	t.Logf("B/op on 1M-row Q1: pipelined %d, materializing %d (%.2fx)",
+		piped, mat, float64(mat)/float64(piped))
+	if piped >= mat {
+		t.Errorf("pipelined execution allocated %d B/op, materializing %d B/op — pipeline must allocate less", piped, mat)
+	}
+}

@@ -67,6 +67,7 @@ type QueryBuilder struct {
 	machine Machine
 	opt     Options
 	hasMach bool
+	noPipe  bool
 }
 
 // Query starts a plan with a scan of a decomposed table.
@@ -91,6 +92,20 @@ func (q *QueryBuilder) On(m Machine) *QueryBuilder {
 // regardless: the memory simulator models a single CPU.
 func (q *QueryBuilder) Parallel(workers int) *QueryBuilder {
 	q.opt = core.Options{Parallelism: workers}
+	return q
+}
+
+// Pipeline toggles fused cache-resident pipeline execution (default
+// on): the planner groups maximal non-breaking operator chains
+// (Scan/Select → Refilter → Project / GroupAggregate feed / Limit)
+// into pipelines that execute vector-at-a-time through small
+// per-worker buffers sized to the machine's L2 cache, instead of
+// materializing every intermediate BAT. Pipeline(false) forces the
+// legacy MIL-style materializing execution — results are
+// byte-identical either way, only the intermediate memory traffic
+// differs. Instrumented runs (RunSim) always materialize.
+func (q *QueryBuilder) Pipeline(on bool) *QueryBuilder {
+	q.noPipe = !on
 	return q
 }
 
@@ -149,7 +164,7 @@ func (q *QueryBuilder) Limit(n int) *QueryBuilder {
 
 // Plan lowers the accumulated logical DAG into a physical plan.
 func (q *QueryBuilder) Plan() (*QueryPlan, error) {
-	cfg := engine.Config{Opt: q.opt}
+	cfg := engine.Config{Opt: q.opt, NoPipeline: q.noPipe}
 	if q.hasMach {
 		cfg.Machine = q.machine
 	}

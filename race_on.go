@@ -1,0 +1,7 @@
+//go:build race
+
+package monetlite
+
+// raceEnabled reports whether the race detector instruments this
+// build; heavy measurement-only tests skip under it.
+const raceEnabled = true
