@@ -10,19 +10,24 @@
 // Usage:
 //
 //	mlquery [-rows 1048576] [-parts 2000] [-machine origin2k] [-sim]
-//	        [-par 0] [-pipeline on|off] [-verify] [-json] [-top 10]
+//	        [-par 0] [-pipeline on|off] [-agg auto|hash|sort|radix]
+//	        [-verify] [-json] [-top 10]
 //
 // -par bounds the worker goroutines of the whole native operator tree
 // (morsel-driven parallelism; 0 = GOMAXPROCS, 1 = serial).
 // -pipeline=off forces the legacy MIL-style materializing execution —
-// the A/B baseline for the fused cache-resident pipelines. -verify
-// additionally runs every query serially AND with pipelines off,
-// checking all results byte-identical — the operator-level smoke test
-// CI runs on every push. -json writes one machine-readable report
-// (per-query native ms, result rows, predicted ms, allocation stats —
-// B/op, allocs/op — and, with -sim, the simulated ms and miss counts)
-// to stdout instead of the human output, the format of the repo's
-// BENCH_*.json perf trajectory.
+// the A/B baseline for the fused cache-resident pipelines. -agg forces
+// the grouping algorithm of every GROUP BY (auto = the cost-model
+// choice; radix is the partitioned strategy Q6 exists to showcase).
+// -verify additionally runs every query serially, with pipelines off,
+// AND with the grouping strategy forced to hash and to radix, checking
+// all results byte-identical — the operator-level smoke test CI runs
+// on every push. -json writes one machine-readable report (per-query
+// native ms, result rows, predicted ms, allocation stats — B/op,
+// allocs/op — the chosen grouping strategy with, when it is radix, a
+// forced-hash comparison run, and, with -sim, the simulated ms and
+// miss counts) to stdout instead of the human output, the format of
+// the repo's BENCH_*.json perf trajectory.
 package main
 
 import (
@@ -30,12 +35,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"reflect"
 	"runtime"
+	"strings"
 	"time"
 
 	"monetlite"
+	"monetlite/internal/engine"
 )
 
 // query is one canned query: a name, the SQL it stands for, and its
@@ -47,7 +55,9 @@ type query struct {
 }
 
 // queryReport is one query's entry in the -json output. The simulated
-// fields are present only under -sim.
+// fields are present only under -sim; the hash_agg_* fields only when
+// the planner chose radix grouping (a forced-hash comparison run, so
+// the radix-vs-hash gap is recorded in the same snapshot).
 type queryReport struct {
 	Name        string   `json:"name"`
 	SQL         string   `json:"sql"`
@@ -56,6 +66,10 @@ type queryReport struct {
 	PredictedMS float64  `json:"predicted_ms"`
 	BytesPerOp  uint64   `json:"bytes_per_op"`
 	AllocsPerOp uint64   `json:"allocs_per_op"`
+	AggStrategy string   `json:"agg_strategy,omitempty"`
+	HashAggMS   *float64 `json:"hash_agg_ms,omitempty"`
+	HashAggBPO  *uint64  `json:"hash_agg_bytes_per_op,omitempty"`
+	HashAggAPO  *uint64  `json:"hash_agg_allocs_per_op,omitempty"`
 	SimMS       *float64 `json:"simulated_ms,omitempty"`
 	SimL1       *uint64  `json:"simulated_l1_misses,omitempty"`
 	SimL2       *uint64  `json:"simulated_l2_misses,omitempty"`
@@ -82,6 +96,7 @@ func main() {
 	flag.IntVar(&workers, "par", 0, "worker goroutines for every plan operator (0 = GOMAXPROCS, 1 = serial)")
 	flag.IntVar(&workers, "workers", 0, "alias for -par")
 	pipeline := flag.String("pipeline", "on", "\"on\" = fused cache-resident pipelines, \"off\" = legacy materializing execution")
+	aggMode := flag.String("agg", "auto", "grouping algorithm: \"auto\" (cost model), \"hash\", \"sort\" or \"radix\"")
 	verify := flag.Bool("verify", false, "cross-check each result byte-identical to a serial run and to -pipeline=off")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable per-query report (timings + B/op, allocs/op) to stdout")
 	top := flag.Int("top", 10, "result rows to print per query")
@@ -104,6 +119,15 @@ func main() {
 		pipeOn = false
 	default:
 		fmt.Fprintf(os.Stderr, "mlquery: -pipeline must be \"on\" or \"off\", got %q\n", *pipeline)
+		os.Exit(2)
+	}
+	aggForce := ""
+	switch *aggMode {
+	case "auto":
+	case "hash", "sort", "radix":
+		aggForce = *aggMode
+	default:
+		fmt.Fprintf(os.Stderr, "mlquery: -agg must be \"auto\", \"hash\", \"sort\" or \"radix\", got %q\n", *aggMode)
 		os.Exit(2)
 	}
 	say := func(format string, args ...any) {
@@ -189,6 +213,20 @@ func main() {
 					Limit(20)
 			},
 		},
+		{
+			// Q6 is the radix-aggregation showcase: cust is a uniformly
+			// random key with ~rows/2 distinct values, so the monolithic
+			// grouping hash table is orders of magnitude past the caches
+			// and every probe is a RAM-latency miss — exactly the regime
+			// where the planner flips to GroupAggregate[radix bits=B].
+			name: "Q6 revenue by customer (high-cardinality group)",
+			sql: "SELECT cust, COUNT(*), SUM(price*(1-discnt)) FROM item\n" +
+				"GROUP BY cust",
+			build: func() *monetlite.QueryBuilder {
+				return monetlite.Query(items).
+					GroupBy("cust", revenue)
+			},
+		},
 	}
 
 	// One simulator for the whole session: column BATs bind to the
@@ -210,7 +248,7 @@ func main() {
 
 	for _, q := range queries {
 		say("=== %s ===\n%s\n\n", q.name, q.sql)
-		b := q.build().On(m).Parallel(workers).Pipeline(pipeOn)
+		b := q.build().On(m).Parallel(workers).Pipeline(pipeOn).GroupStrategy(aggForce)
 		plan, err := b.Plan()
 		if err != nil {
 			log.Fatal(err)
@@ -228,27 +266,55 @@ func main() {
 		say("\nnative: %v, %d result rows\n", native.Round(10*time.Microsecond), res.N())
 
 		if *verify {
-			for _, alt := range []struct {
-				name  string
-				build func() (*monetlite.QueryResult, error)
-			}{
-				{"serial", func() (*monetlite.QueryResult, error) {
-					return q.build().On(m).Parallel(1).Pipeline(pipeOn).Run()
-				}},
-				{"materializing", func() (*monetlite.QueryResult, error) {
-					return q.build().On(m).Parallel(workers).Pipeline(false).Run()
-				}},
-			} {
-				other, err := alt.build()
+			mustRun := func(b *monetlite.QueryBuilder) *monetlite.QueryResult {
+				r, err := b.Run()
 				if err != nil {
 					log.Fatal(err)
 				}
-				if !reflect.DeepEqual(res.Rel, other.Rel) {
+				return r
+			}
+			// Within one grouping strategy, every (worker count,
+			// pipeline mode) combination is byte-identical.
+			for _, alt := range []struct {
+				name string
+				res  *monetlite.QueryResult
+			}{
+				{"serial", mustRun(q.build().On(m).Parallel(1).Pipeline(pipeOn).GroupStrategy(aggForce))},
+				{"materializing", mustRun(q.build().On(m).Parallel(workers).Pipeline(false).GroupStrategy(aggForce))},
+			} {
+				if !reflect.DeepEqual(res.Rel, alt.res.Rel) {
 					fmt.Fprintf(os.Stderr, "mlquery: %s: result differs from %s run\n", q.name, alt.name)
 					os.Exit(1)
 				}
 			}
-			say("verify: result byte-identical to serial and to -pipeline=off runs\n")
+			// The radix grouping path cross-check (only where the plan
+			// has a GroupAggregate — forcing a strategy elsewhere is a
+			// no-op and would just re-run the identical plan): radix
+			// must be byte-identical to its own serial materializing
+			// run, and equivalent to forced hash grouping — keys,
+			// counts, min and max bitwise, sums up to association order
+			// (strategies decompose the input differently, so
+			// multi-morsel float sums agree only to rounding).
+			if aggStrategyOf(plan.Explain()) == "" {
+				say("verify: result byte-identical to serial and -pipeline=off runs (no GROUP BY)\n")
+			} else {
+				radix := mustRun(q.build().On(m).Parallel(workers).Pipeline(pipeOn).GroupStrategy("radix"))
+				radixSerialMat := mustRun(q.build().On(m).Parallel(1).Pipeline(false).GroupStrategy("radix"))
+				if !reflect.DeepEqual(radix.Rel, radixSerialMat.Rel) {
+					fmt.Fprintf(os.Stderr, "mlquery: %s: radix-agg parallel pipelined differs from its serial materializing run\n", q.name)
+					os.Exit(1)
+				}
+				hash := mustRun(q.build().On(m).Parallel(workers).Pipeline(pipeOn).GroupStrategy("hash"))
+				if err := equivalentRels(radix.Rel, hash.Rel); err != nil {
+					fmt.Fprintf(os.Stderr, "mlquery: %s: radix-agg vs hash-agg: %v\n", q.name, err)
+					os.Exit(1)
+				}
+				if err := equivalentRels(res.Rel, hash.Rel); err != nil {
+					fmt.Fprintf(os.Stderr, "mlquery: %s: result vs hash-agg: %v\n", q.name, err)
+					os.Exit(1)
+				}
+				say("verify: byte-identical serial/materializing runs; radix-agg deterministic and equivalent to hash-agg\n")
+			}
 		}
 
 		var qr queryReport
@@ -279,6 +345,29 @@ func main() {
 			qr.PredictedMS = plan.Predicted().Millis(m)
 			qr.BytesPerOp = bpo
 			qr.AllocsPerOp = apo
+			qr.AggStrategy = aggStrategyOf(plan.Explain())
+			if qr.AggStrategy == "radix" {
+				// Record the forced-hash baseline alongside, so one
+				// snapshot holds the radix-vs-hash-partials gap.
+				hp, err := q.build().On(m).Parallel(workers).Pipeline(pipeOn).GroupStrategy("hash").Plan()
+				if err != nil {
+					log.Fatal(err)
+				}
+				if _, err := hp.Run(nil); err != nil { // warm, like the radix run
+					log.Fatal(err)
+				}
+				t0 := time.Now()
+				if _, err := hp.Run(nil); err != nil {
+					log.Fatal(err)
+				}
+				hashMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+				hbpo, hapo := measureAllocs(func() {
+					if _, err := hp.Run(nil); err != nil {
+						log.Fatal(err)
+					}
+				})
+				qr.HashAggMS, qr.HashAggBPO, qr.HashAggAPO = &hashMS, &hbpo, &hapo
+			}
 			rep.Queries = append(rep.Queries, qr)
 		} else {
 			fmt.Printf("\n%s\n", res.Format(*top))
@@ -292,6 +381,49 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// equivalentRels compares two result relations across grouping
+// strategies: everything bitwise except float "sum" columns, which may
+// differ by a relative 1e-9 (different strategies associate the same
+// per-group additions differently once the input spans morsels).
+func equivalentRels(a, b *engine.Rel) error {
+	if a.N != b.N || len(a.Cols) != len(b.Cols) {
+		return fmt.Errorf("shape (%d rows, %d cols) vs (%d rows, %d cols)", a.N, len(a.Cols), b.N, len(b.Cols))
+	}
+	for c := range a.Cols {
+		ac, bc := &a.Cols[c], &b.Cols[c]
+		if ac.Name != bc.Name || ac.Kind != bc.Kind {
+			return fmt.Errorf("column %d: (%s, %v) vs (%s, %v)", c, ac.Name, ac.Kind, bc.Name, bc.Kind)
+		}
+		if ac.Kind != engine.KFloat || ac.Name != "sum" {
+			if !reflect.DeepEqual(*ac, *bc) {
+				return fmt.Errorf("column %q differs", ac.Name)
+			}
+			continue
+		}
+		for i := range ac.Floats {
+			tol := 1e-9 * (1 + math.Abs(ac.Floats[i]))
+			if d := ac.Floats[i] - bc.Floats[i]; d > tol || -d > tol {
+				return fmt.Errorf("sum[%d] = %v vs %v", i, ac.Floats[i], bc.Floats[i])
+			}
+		}
+	}
+	return nil
+}
+
+// aggStrategyOf extracts the grouping algorithm from an EXPLAIN
+// rendering ("" when the plan has no GroupAggregate): the token inside
+// "GroupAggregate[...]", up to the bits annotation.
+func aggStrategyOf(explain string) string {
+	_, rest, ok := strings.Cut(explain, "GroupAggregate[")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexAny(rest, " ]"); i >= 0 {
+		return rest[:i]
+	}
+	return rest
 }
 
 // measureAllocs reports the heap bytes and allocation count of one run

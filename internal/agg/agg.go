@@ -1,9 +1,12 @@
-// Package agg implements the two grouping/aggregation algorithms the
+// Package agg implements the grouping/aggregation algorithms the
 // paper contrasts in §3.2: hash-grouping — one scan keeping a
 // temporary hash table of aggregate totals, superior as long as the
 // table fits the memory caches — and sort/merge grouping, which first
 // sorts the relation on the GROUP-BY attribute (random access over the
-// entire relation) and then scans.
+// entire relation) and then scans. A third strategy, RadixGroup
+// (radix.go), extends §4's radix-cluster remedy to aggregation: when
+// the group count outgrows the caches, partition the feed on the low
+// key bits first so every partition's table is cache-resident again.
 //
 // Inputs are decomposed columns: a group-key column (typically a 1- or
 // 2-byte encoded code column over a void head, as in Figure 4) and a

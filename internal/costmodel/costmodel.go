@@ -130,16 +130,24 @@ func (m Model) Scan(iters, s int) Breakdown {
 // Geometry helpers, using the paper's notation: |Re|Li = lines per
 // relation, |Re|Pg = pages per relation, |Li|Li = lines per cache.
 
-func (m Model) relLines(c int, cacheIdx int) float64 {
+func (m Model) linesOf(c, w int, cacheIdx int) float64 {
 	line := m.M.L1.LineSize
 	if cacheIdx == 2 {
 		line = m.M.L2.LineSize
 	}
-	return math.Ceil(float64(c) * TupleBytes / float64(line))
+	return math.Ceil(float64(c) * float64(w) / float64(line))
+}
+
+func (m Model) pagesOf(c, w int) float64 {
+	return math.Ceil(float64(c) * float64(w) / float64(m.M.TLB.PageSize))
+}
+
+func (m Model) relLines(c int, cacheIdx int) float64 {
+	return m.linesOf(c, TupleBytes, cacheIdx)
 }
 
 func (m Model) relPages(c int) float64 {
-	return math.Ceil(float64(c) * TupleBytes / float64(m.M.TLB.PageSize))
+	return m.pagesOf(c, TupleBytes)
 }
 
 func (m Model) cacheLines(cacheIdx int) float64 {
@@ -160,23 +168,23 @@ func (m Model) cacheBytes(cacheIdx int) float64 {
 // §3.4.2: radix-cluster model Tc(P, B, C).
 
 // clusterPassMisses is MLi,c(Bp, C): the Li misses of one clustering
-// pass creating Hp clusters. First term: fetching input and storing
-// output (2·|Re|Li). Second: extra misses as the concurrently-filled
-// cluster buffers approach (Hp/|Li| per tuple) or exceed (log-degraded)
-// the cache's line count.
-func (m Model) clusterPassMisses(hp float64, c int, cacheIdx int) float64 {
+// pass creating Hp clusters over c tuples of w bytes. First term:
+// fetching input and storing output (2·|Re|Li). Second: extra misses
+// as the concurrently-filled cluster buffers approach (Hp/|Li| per
+// tuple) or exceed (log-degraded) the cache's line count.
+func (m Model) clusterPassMisses(hp float64, c, w int, cacheIdx int) float64 {
 	lines := m.cacheLines(cacheIdx)
-	base := 2 * m.relLines(c, cacheIdx)
+	base := 2 * m.linesOf(c, w, cacheIdx)
 	if hp <= lines {
 		return base + float64(c)*hp/lines
 	}
 	return base + float64(c)*(1+math.Log2(hp/lines))
 }
 
-// clusterPassTLBMisses is MTLB,c(Bp, C).
-func (m Model) clusterPassTLBMisses(hp float64, c int) float64 {
+// clusterPassTLBMisses is MTLB,c(Bp, C) over c tuples of w bytes.
+func (m Model) clusterPassTLBMisses(hp float64, c, w int) float64 {
 	tlb := float64(m.M.TLB.Entries)
-	pages := m.relPages(c)
+	pages := m.pagesOf(c, w)
 	base := 2 * pages
 	if hp <= tlb {
 		return base + pages*hp/tlb
@@ -184,14 +192,22 @@ func (m Model) clusterPassTLBMisses(hp float64, c int) float64 {
 	return base + float64(c)*(1-tlb/hp)
 }
 
-// ClusterPass returns the breakdown of one pass on bp bits.
+// ClusterPass returns the breakdown of one pass on bp bits over the
+// 8-byte BUNs of the join experiments.
 func (m Model) ClusterPass(bp float64, c int) Breakdown {
+	return m.ClusterPassBytes(bp, c, TupleBytes)
+}
+
+// ClusterPassBytes is ClusterPass generalized to tuples of w bytes:
+// the same §3.4.2 per-pass miss model, applied to wider feeds — the
+// aggregation path clusters 16-byte (key, value) pairs with it.
+func (m Model) ClusterPassBytes(bp float64, c, w int) Breakdown {
 	hp := math.Pow(2, bp)
 	return Breakdown{
 		CPUNanos:  float64(c) * m.M.Cost.Wc,
-		L1Misses:  m.clusterPassMisses(hp, c, 1),
-		L2Misses:  m.clusterPassMisses(hp, c, 2),
-		TLBMisses: m.clusterPassTLBMisses(hp, c),
+		L1Misses:  m.clusterPassMisses(hp, c, w, 1),
+		L2Misses:  m.clusterPassMisses(hp, c, w, 2),
+		TLBMisses: m.clusterPassTLBMisses(hp, c, w),
 	}
 }
 

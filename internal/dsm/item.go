@@ -10,6 +10,7 @@ func ItemSchema() Schema {
 			{Name: "order", Type: LInt},
 			{Name: "part", Type: LInt},
 			{Name: "supp", Type: LInt},
+			{Name: "cust", Type: LInt},
 			{Name: "qty", Type: LInt},
 			{Name: "price", Type: LFloat},
 			{Name: "discnt", Type: LFloat},
@@ -52,8 +53,8 @@ func ItemTable(n int, seed uint64) (*Table, error) {
 	rows := make([][]any, n)
 	for i, it := range items {
 		rows[i] = []any{
-			int64(it.Order), int64(it.Part), int64(it.Supp), int64(it.Qty),
-			it.Price, it.Discnt, it.Tax, it.Status,
+			int64(it.Order), int64(it.Part), int64(it.Supp), int64(it.Cust),
+			int64(it.Qty), it.Price, it.Discnt, it.Tax, it.Status,
 			it.Date1, it.Date2, it.ShipMode, it.Comment,
 		}
 	}

@@ -71,7 +71,7 @@ func (t *Table) SelectStringOpts(sim *memsim.Sim, column, value string, opt core
 	}
 	code, ok := c.Enc.Code(value)
 	if !ok {
-		return nil, nil // value outside domain: empty result
+		return []bat.Oid{}, nil // value outside domain: empty, never nil
 	}
 	parts := make([][]bat.Oid, core.MorselsOf(n))
 	core.ForMorsels(workers, n, func(m, from, to int) {

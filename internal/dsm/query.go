@@ -25,7 +25,7 @@ func (t *Table) SelectRange(sim *memsim.Sim, column string, lo, hi int64) ([]bat
 		return nativeSelectRange(c, lo, hi), nil
 	}
 	c.Vec.Bind(sim)
-	var out []bat.Oid
+	out := []bat.Oid{} // empty results stay non-nil, like every select path
 	for i := 0; i < c.Vec.Len(); i++ {
 		c.Vec.Touch(sim, i)
 		if v := c.Vec.Int(i); v >= lo && v <= hi {
@@ -148,7 +148,7 @@ func (t *Table) SelectString(sim *memsim.Sim, column, value string) ([]bat.Oid, 
 		if !ok {
 			return nil, fmt.Errorf("dsm: column %q is not a string column", column)
 		}
-		var out []bat.Oid
+		out := []bat.Oid{}
 		for i := 0; i < sv.Len(); i++ {
 			sv.Touch(sim, i)
 			if sv.Str(i) == value {
@@ -159,13 +159,17 @@ func (t *Table) SelectString(sim *memsim.Sim, column, value string) ([]bat.Oid, 
 	}
 	code, ok := c.Enc.Code(value)
 	if !ok {
-		return nil, nil // value outside domain: empty result
+		// Value outside the dictionary: an empty — and, like every
+		// select result, non-nil — OID list. A nil here would read as
+		// "all rows" to consumers that treat nil OID lists as the
+		// unfiltered identity (dsm.GroupAggregate, engine bindings).
+		return []bat.Oid{}, nil
 	}
 	if sim == nil {
 		return nativeSelectCode(c, code), nil
 	}
 	c.Vec.Bind(sim)
-	var out []bat.Oid
+	out := []bat.Oid{}
 	for i := 0; i < c.Vec.Len(); i++ {
 		c.Vec.Touch(sim, i)
 		if codeOf(c, i) == code {

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"monetlite/internal/bat"
+	"monetlite/internal/core"
+	"monetlite/internal/dsm"
+)
+
+// Regression pins for two correctness hazards around the CSS-tree
+// select path: int32-boundary predicate constants (clamping must never
+// change predicate semantics) and nil-vs-empty OID lists (an empty
+// selection must always be a non-nil empty slice — a nil list means
+// "all rows" to bindings and dsm.GroupAggregate).
+
+// boundaryTable holds the int32 extremes plus interior values in an
+// I32 column.
+func boundaryTable(t *testing.T) *dsm.Table {
+	t.Helper()
+	vals := []int64{-1 << 31, -1<<31 + 1, -7, 0, 7, 1<<31 - 2, 1<<31 - 1}
+	schema := dsm.Schema{Name: "bound", Cols: []dsm.ColumnDef{
+		{Name: "k", Type: dsm.LInt},
+		{Name: "v", Type: dsm.LFloat},
+	}}
+	rows := make([][]any, len(vals))
+	for i, v := range vals {
+		rows[i] = []any{v, float64(i)}
+	}
+	tbl, err := dsm.Decompose(schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mustColumn(t, tbl, "k").Vec.(*bat.I32Vec); !ok {
+		t.Fatalf("boundary column not stored as int32")
+	}
+	return tbl
+}
+
+func mustColumn(t *testing.T, tbl *dsm.Table, name string) *dsm.Column {
+	t.Helper()
+	c, err := tbl.Column(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCSSSelectInt32Boundaries: for ranges at and beyond the int32
+// domain edges, the CSS-tree exec path must return exactly what the
+// full-width scan-select returns — out-of-domain constants route to
+// empty or saturate harmlessly, never silently match boundary rows.
+func TestCSSSelectInt32Boundaries(t *testing.T) {
+	tbl := boundaryTable(t)
+	col := mustColumn(t, tbl, "k")
+	ranges := []struct {
+		name   string
+		lo, hi int64
+	}{
+		{"all of int64", -1 << 62, 1 << 62},
+		{"exact domain", -1 << 31, 1<<31 - 1},
+		{"above MaxInt32", 1 << 31, 1 << 40},
+		{"v > MaxInt32 (the clamp bug)", 1<<31 - 1 + 1, 1<<62 - 1},
+		{"below MinInt32", -1 << 40, -1<<31 - 1},
+		{"straddles MaxInt32", 1<<31 - 2, 1 << 40},
+		{"straddles MinInt32", -1 << 40, -1<<31 + 1},
+		{"point MaxInt32", 1<<31 - 1, 1<<31 - 1},
+		{"point MinInt32", -1 << 31, -1 << 31},
+		{"inverted", 10, -10},
+		{"inverted outside", 1 << 40, -1 << 40},
+	}
+	for _, r := range ranges {
+		pred := RangePred{Col: "k", Lo: r.lo, Hi: r.hi}
+		ctx := &execCtx{opt: core.Serial()}
+		scanFrag, err := (&selectScanOp{in: &scanOp{t: tbl}, col: col, pred: pred}).exec(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cssFrag, err := (&selectCSSOp{in: &scanOp{t: tbl}, col: col, pred: pred}).exec(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so, co := scanFrag.binds[0].oids, cssFrag.binds[0].oids
+		if !reflect.DeepEqual(so, co) {
+			t.Errorf("%s [%d, %d]: scan selected %v, css-tree %v", r.name, r.lo, r.hi, so, co)
+		}
+		if so == nil || co == nil {
+			t.Errorf("%s: nil OID list (scan nil=%v, css nil=%v)", r.name, so == nil, co == nil)
+		}
+	}
+}
+
+// TestPlannerRoutesOutOfDomainRangesToScan: the planner must not hand
+// an out-of-int32-domain constant to the CSS-tree path at all, however
+// selective the predicate looks.
+func TestPlannerRoutesOutOfDomainRangesToScan(t *testing.T) {
+	tbl := itemTable(t, 1<<16)
+	// A point-like in-domain range prefers the CSS-tree (the flip test
+	// pins this); the same shape beyond MaxInt32 must take the scan.
+	in := mustPlan(t, &SelectNode{
+		Input: &ScanNode{Table: tbl},
+		Pred:  RangePred{Col: "order", Lo: 1000, Hi: 1016},
+	})
+	if _, ok := in.root.(*selectCSSOp); !ok {
+		t.Fatalf("in-domain narrow range lowered to %T, want *selectCSSOp", in.root)
+	}
+	for _, r := range []struct{ lo, hi int64 }{
+		{1 << 31, 1<<31 + 16},
+		{-1<<31 - 17, -1<<31 - 1},
+		{1<<31 - 8, 1<<31 + 8},
+	} {
+		p := mustPlan(t, &SelectNode{
+			Input: &ScanNode{Table: tbl},
+			Pred:  RangePred{Col: "order", Lo: r.lo, Hi: r.hi},
+		})
+		if _, ok := p.root.(*selectScanOp); !ok {
+			t.Errorf("out-of-domain range [%d, %d] lowered to %T, want *selectScanOp\n%s",
+				r.lo, r.hi, p.root, p.Explain())
+		}
+	}
+}
+
+// TestWholeQueryOutOfDomainRange: end to end, a predicate beyond the
+// int32 domain returns the correct rows (none here) on every execution
+// mode.
+func TestWholeQueryOutOfDomainRange(t *testing.T) {
+	tbl := itemTable(t, 1<<12)
+	for _, noPipe := range []bool{false, true} {
+		p, err := Plan(&ProjectNode{
+			Input: &SelectNode{
+				Input: &ScanNode{Table: tbl},
+				Pred:  RangePred{Col: "order", Lo: 1 << 31, Hi: 1 << 40},
+			},
+			Cols: []string{"order"},
+		}, Config{NoPipeline: noPipe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.N() != 0 {
+			t.Errorf("noPipe=%v: v in [2^31, 2^40] matched %d rows, want 0", noPipe, res.N())
+		}
+	}
+}
+
+// TestEmptySelectionsAreNonNil: every access path — scan-select,
+// CSS-tree, refilter, pipeline OID sink, dsm-level selects — must
+// normalize an empty result to a non-nil empty OID slice, so no
+// consumer can mistake it for the nil "all rows" binding.
+func TestEmptySelectionsAreNonNil(t *testing.T) {
+	shrinkMorsels(t, 64)
+	tbl := itemTable(t, 512)
+
+	// dsm level, native and instrumented, serial and parallel.
+	for _, opt := range []core.Options{core.Serial(), {Parallelism: 4}} {
+		oids, err := tbl.SelectRangeOpts(nil, "qty", 1000, 2000, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oids == nil || len(oids) != 0 {
+			t.Errorf("SelectRangeOpts empty result: nil=%v len=%d", oids == nil, len(oids))
+		}
+		oids, err = tbl.SelectStringOpts(nil, "shipmode", "NO-SUCH-MODE", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oids == nil || len(oids) != 0 {
+			t.Errorf("SelectStringOpts dictionary miss: nil=%v len=%d", oids == nil, len(oids))
+		}
+	}
+
+	// Engine level: empty selects, refilters above them, and the fused
+	// pipeline's OID sink, on both execution modes.
+	preds := []Predicate{
+		RangePred{Col: "qty", Lo: 1000, Hi: 2000},
+		EqStringPred{Col: "shipmode", Value: "NO-SUCH-MODE"},
+	}
+	for _, pred := range preds {
+		for _, noPipe := range []bool{false, true} {
+			root := &SelectNode{
+				Input: &SelectNode{Input: &ScanNode{Table: tbl}, Pred: RangePred{Col: "date1", Lo: 8000, Hi: 10500}},
+				Pred:  pred,
+			}
+			p, err := Plan(root, Config{NoPipeline: noPipe, Opt: core.Options{Parallelism: 4}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := &execCtx{machine: p.cfg.Machine, opt: p.cfg.Opt}
+			ctx.arenas = make([]*pipeArena, ctx.opt.Workers())
+			frag, err := p.root.exec(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for bi, b := range frag.binds {
+				if b.oids == nil {
+					t.Errorf("pred %v noPipe=%v: binding %d has nil OID list for an empty result", pred, noPipe, bi)
+				} else if len(b.oids) != 0 {
+					t.Errorf("pred %v noPipe=%v: expected empty result, got %d rows", pred, noPipe, len(b.oids))
+				}
+			}
+		}
+	}
+
+	// The CSS path's own empty exits (inverted and out-of-domain).
+	col := mustColumn(t, tbl, "order")
+	for _, pred := range []RangePred{
+		{Col: "order", Lo: 5, Hi: -5},
+		{Col: "order", Lo: 1 << 40, Hi: 1 << 41},
+		{Col: "order", Lo: 1 << 20, Hi: 1 << 21},
+	} {
+		frag, err := (&selectCSSOp{in: &scanOp{t: tbl}, col: col, pred: pred}).exec(&execCtx{opt: core.Serial()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frag.binds[0].oids == nil {
+			t.Errorf("CSS %v: nil OID list for an empty result", pred)
+		}
+	}
+}
+
+// TestGroupAggregateEmptyOidsVsNil pins the consumer-side hazard the
+// normalization prevents: dsm.GroupAggregate must aggregate zero rows
+// for an empty (non-nil) selection, not fall back to the whole table.
+func TestGroupAggregateEmptyOidsVsNil(t *testing.T) {
+	tbl := itemTable(t, 256)
+	empty, err := tbl.SelectString(nil, "shipmode", "NO-SUCH-MODE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty == nil {
+		t.Fatal("empty selection returned nil")
+	}
+	rows, err := tbl.GroupAggregate(nil, "shipmode", "price", empty, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("empty selection aggregated %d groups, want 0", len(rows))
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"math"
 
+	"monetlite/internal/agg"
 	"monetlite/internal/costmodel"
 	"monetlite/internal/memsim"
 )
@@ -45,6 +46,28 @@ func randomBreakdown(k, footprint float64, m memsim.Machine) costmodel.Breakdown
 		L1Misses:  miss(float64(m.L1.Size), float64(m.L1.LineSize)),
 		L2Misses:  miss(float64(m.L2.Size), float64(m.L2.LineSize)),
 		TLBMisses: miss(float64(m.TLB.Span()), float64(m.TLB.PageSize)),
+	}
+}
+
+// probeBreakdown models k independent random probes into a resident
+// structure of the given footprint — a grouping hash table. Unlike
+// randomBreakdown's gather pattern, probing never degenerates to a
+// sweep: successive touches of the same line are separated by roughly
+// a footprint's worth of other probes, so once the footprint exceeds a
+// cache the line is evicted before its next touch and every probe
+// misses at the capacity rate — §3.2's "each memory reference a cache
+// miss" regime.
+func probeBreakdown(k, footprint float64, m memsim.Machine) costmodel.Breakdown {
+	miss := func(cache float64) float64 {
+		if footprint <= cache {
+			return 0
+		}
+		return k * (1 - cache/footprint)
+	}
+	return costmodel.Breakdown{
+		L1Misses:  miss(float64(m.L1.Size)),
+		L2Misses:  miss(float64(m.L2.Size)),
+		TLBMisses: miss(float64(m.TLB.Span())),
 	}
 }
 
@@ -108,8 +131,9 @@ func gatherCost(k, footprint float64, width int, m memsim.Machine) costmodel.Bre
 }
 
 // groupCost predicts grouping n tuples into g groups. Hash grouping
-// (§3.2) makes two random accesses per tuple into a table of ~48
-// bytes/group — cache-resident while that footprint fits. Sort
+// (§3.2) makes two random probes per tuple into a table of ~48
+// bytes/group — cache-resident while that footprint fits, a
+// RAM-latency miss per probe beyond it (probeBreakdown). Sort
 // grouping radix-sorts the (key, row) pairs first — modelled as four
 // 8-bit cluster passes via the §3.4.2 formula — then merges
 // sequentially.
@@ -124,10 +148,47 @@ func groupCost(n int, g float64, useSort bool, m memsim.Machine) costmodel.Break
 		merge.CPUNanos = float64(n) * m.Cost.WScanBUN
 		return b.Add(merge)
 	}
-	b := randomBreakdown(2*float64(n), g*48, m)
+	b := probeBreakdown(2*float64(n), g*float64(agg.GroupTableBytesPerGroup), m)
 	in := seqBreakdown(float64(n)*10, m) // key codes + measure
 	b = b.Add(in)
 	b.CPUNanos = 2 * float64(n) * m.Cost.WScanBUN
+	return b
+}
+
+// maxAggRadixBits caps the radix-bit choice for aggregation: 2^16
+// partitions is already far past any group cardinality where more
+// splitting helps, and keeps the offset structure negligible.
+const maxAggRadixBits = 16
+
+// radixBitsFor picks the fewest radix bits B such that one partition's
+// group table (~48 bytes/group) fits a quarter of L1 — §4's
+// cache-sizing criterion applied to the §3.2 aggregation table. 0
+// means the whole table is already cache-resident and partitioning
+// would be pure overhead.
+func radixBitsFor(g float64, m memsim.Machine) int {
+	budget := float64(m.L1.Size) / 4
+	bits := 0
+	for g*float64(agg.GroupTableBytesPerGroup)/math.Pow(2, float64(bits)) > budget &&
+		bits < maxAggRadixBits {
+		bits++
+	}
+	return bits
+}
+
+// radixGroupCost predicts radix-partitioned grouping of n tuples into
+// g groups on B bits in P passes: the §3.4.2 cluster-pass model over
+// the 16-byte (key, value) feed, then the cache-resident probe phase —
+// two probes per tuple into a per-partition table of g·48/2^B bytes,
+// which B was chosen to keep inside L1 (so the probe term is ~zero and
+// the cost is the clustering plus one stream over the clustered feed).
+func radixGroupCost(n int, g float64, bits, passes int, m memsim.Machine) costmodel.Breakdown {
+	model := costmodel.New(m)
+	b := model.ClusterPassBytes(float64(bits)/float64(passes), n, agg.PairBytes).
+		Scale(float64(passes))
+	part := g * float64(agg.GroupTableBytesPerGroup) / math.Pow(2, float64(bits))
+	b = b.Add(probeBreakdown(2*float64(n), part, m))
+	b = b.Add(seqBreakdown(float64(n)*agg.PairBytes, m)) // stream the clustered feed
+	b.CPUNanos += 2 * float64(n) * m.Cost.WScanBUN
 	return b
 }
 

@@ -167,8 +167,8 @@ func TestGroupingChoiceAndCostModel(t *testing.T) {
 	// An aggregate over a bare scan fuses; the grouping choice lives on
 	// the pipeline's GroupAggregate sink.
 	fo := few.root.(*pipelineOp).gagg
-	if fo.useSort {
-		t.Errorf("7-group aggregate lowered to sort grouping:\n%s", few.Explain())
+	if fo.strat != aggHash {
+		t.Errorf("7-group aggregate lowered to %v grouping, want hash:\n%s", fo.strat, few.Explain())
 	}
 	if fo.estGroups != 7 {
 		t.Errorf("encoded shipmode key estimated %v groups, want exactly 7 (dictionary size)", fo.estGroups)

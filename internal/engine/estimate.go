@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"math"
+
 	"monetlite/internal/bat"
 	"monetlite/internal/dsm"
 )
@@ -68,9 +70,13 @@ func clampFraction(f float64, samples int) float64 {
 }
 
 // estimateGroups estimates the number of distinct group keys. An
-// encoded column's dictionary gives the exact domain; otherwise the
-// sample's distinct count is used, saturating to the full cardinality
-// when every sampled value is distinct (a high-cardinality key).
+// encoded column's dictionary gives the exact domain. Otherwise the
+// sample's distinct count is used directly while the sample covers the
+// domain (each value seen several times); once most samples are
+// distinct, the count only bounds the domain from below, so the
+// estimate inverts the birthday-collision expectation instead — s
+// uniform draws from D values collide ≈ s²/2D times — saturating to
+// the full cardinality when the sample has no collision at all.
 func estimateGroups(c *dsm.Column) float64 {
 	if c.Enc != nil {
 		return float64(len(c.Enc.Dict))
@@ -85,8 +91,15 @@ func estimateGroups(c *dsm.Column) float64 {
 		seen[c.Vec.Int(i)] = struct{}{}
 	}
 	d := len(seen)
-	if d >= len(pos) {
-		return float64(n) // saturated sample: assume near-unique key
+	s := len(pos)
+	switch {
+	case d >= s:
+		return float64(n) // no collisions: assume near-unique key
+	case d > s/2:
+		// Nearly saturated: invert E[collisions] ≈ s²/2D for the
+		// domain size, clamped to [d, n].
+		est := float64(s) * float64(s) / (2 * float64(s-d))
+		return math.Min(float64(n), math.Max(float64(d), est))
 	}
 	return float64(d)
 }

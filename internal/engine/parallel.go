@@ -130,6 +130,93 @@ func prefixSum(counts []int) (starts []int, total int) {
 	return starts, total
 }
 
+// radixGroupNative is the native radix-partitioned grouping path:
+// cluster the (key, value) feed on the low `bits` key bits over the
+// worker pool, then aggregate every partition independently — each
+// worker drains contiguous partition ranges with one reused
+// cache-resident PartitionAggregator — and concatenate the per-range
+// results in partition order. There is no merge step: partitions own
+// disjoint key sets by construction. The output is byte-identical at
+// any worker count because the cluster kernel is worker-independent,
+// tuples keep input order within a partition (stable passes), and
+// task ranges are contiguous, so concatenating task results in task
+// order is concatenating partitions in partition order.
+func radixGroupNative(ctx *execCtx, keys []int64, vals []float64, bits, passes int) (*agg.GroupResult, error) {
+	ck, cv, offs, err := core.RadixClusterKV(keys, vals, bits, passes, ctx.opt)
+	if err != nil {
+		return nil, err
+	}
+	nparts := len(offs) - 1
+	workers := ctx.opt.Workers()
+	if workers > nparts {
+		workers = nparts
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tasks := aggPartitionTasks(offs, workers)
+	results := make([]agg.GroupResult, len(tasks))
+	aggs := make([]agg.PartitionAggregator, workers)
+	core.ForEach(workers, len(tasks), func(w, t int) {
+		lo, hi := tasks[t][0], tasks[t][1]
+		res := &results[t]
+		// At worst every tuple of the range is its own group.
+		res.Reserve(offs[hi] - offs[lo])
+		pa := &aggs[w]
+		for p := lo; p < hi; p++ {
+			pa.AggregateInto(res, ck[offs[p]:offs[p+1]], cv[offs[p]:offs[p+1]])
+		}
+	})
+	total := 0
+	for t := range results {
+		total += results[t].Groups()
+	}
+	if len(tasks) == 1 {
+		return &results[0], nil
+	}
+	out := &agg.GroupResult{
+		Key:   make([]int64, 0, total),
+		Count: make([]int64, 0, total),
+		Sum:   make([]float64, 0, total),
+		Min:   make([]float64, 0, total),
+		Max:   make([]float64, 0, total),
+	}
+	for t := range results {
+		out.Key = append(out.Key, results[t].Key...)
+		out.Count = append(out.Count, results[t].Count...)
+		out.Sum = append(out.Sum, results[t].Sum...)
+		out.Min = append(out.Min, results[t].Min...)
+		out.Max = append(out.Max, results[t].Max...)
+	}
+	return out, nil
+}
+
+// aggPartitionTasks splits the partition index range [0, len(offsets)-1)
+// into contiguous tasks of roughly equal tuple count (partitions can
+// skew, so equal partition counts would balance badly), a few tasks
+// per worker so stragglers even out. Task boundaries influence only
+// scheduling, never output order.
+func aggPartitionTasks(offsets []int, workers int) [][2]int {
+	nparts := len(offsets) - 1
+	total := offsets[nparts]
+	grain := total/(workers*4) + 1
+	tasks := make([][2]int, 0, workers*4)
+	lo := 0
+	for p := 0; p < nparts; p++ {
+		if offsets[p+1]-offsets[lo] >= grain {
+			tasks = append(tasks, [2]int{lo, p + 1})
+			lo = p + 1
+		}
+	}
+	if lo < nparts {
+		tasks = append(tasks, [2]int{lo, nparts})
+	}
+	if len(tasks) == 0 { // zero partitions cannot happen (bits ≥ 1), but stay safe
+		tasks = append(tasks, [2]int{0, nparts})
+	}
+	return tasks
+}
+
 // mergeGroupPartials combines per-morsel grouping partials by group
 // key, in morsel index order: counts and sums accumulate, min/max
 // fold. Because the iteration order is (morsel, partial row) — both

@@ -2,7 +2,7 @@ package engine
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"monetlite/internal/agg"
@@ -242,7 +242,7 @@ func (o *selectCSSOp) exec(ctx *execCtx) (*fragment, error) {
 	oids := tree.RangeSelect(ctx.sim, lo, hi)
 	// The tree returns OIDs in value order; restore storage order so the
 	// result is byte-identical to the scan access path.
-	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	slices.Sort(oids)
 	return &fragment{binds: []binding{{table: b.table, oids: nonNil(oids)}}}, nil
 }
 
@@ -590,15 +590,38 @@ func remapBinding(ctx *execCtx, b binding, idx *core.JoinIndex, left bool) (bind
 // ---------------------------------------------------------------------
 // GroupAggregate.
 
+// aggStrategy is the grouping algorithm a GroupAggregate runs (§3.2's
+// hash vs sort choice, plus the §4-style radix-partitioned third way).
+type aggStrategy uint8
+
+const (
+	aggHash aggStrategy = iota
+	aggSort
+	aggRadix
+)
+
+func (s aggStrategy) String() string {
+	switch s {
+	case aggSort:
+		return "sort"
+	case aggRadix:
+		return "radix"
+	}
+	return "hash"
+}
+
 type groupAggOp struct {
 	in        physOp
 	bindIdx   int
 	keyCol    *dsm.Column
 	keyName   string
-	measure   Expr    // bound: ColExprs rewritten to operand indices
-	measStr   string  // display form
-	operands  []opCol // gathered operand columns, in bind order
-	useSort   bool    // sort/merge grouping instead of hash (§3.2)
+	measure   Expr        // bound: ColExprs rewritten to operand indices
+	measStr   string      // display form
+	operands  []opCol     // gathered operand columns, in bind order
+	strat     aggStrategy // chosen grouping algorithm
+	radixBits int         // radix partitioning bits (strat == aggRadix)
+	radixPass int         // cluster passes (strat == aggRadix)
+	savedMS   float64     // predicted ms saved vs hash grouping (radix)
 	estGroups float64
 	par       int // planned native degree of parallelism
 	cost      costmodel.Breakdown
@@ -694,15 +717,31 @@ func (o *groupAggOp) finish(ctx *execCtx, keys []int64, vals []float64) (*fragme
 }
 
 // group runs the chosen grouping algorithm. Instrumented runs keep the
-// single whole-relation scan the §3.2 cost models describe. Native
-// runs partition the input into morsels, group each morsel
-// independently on the worker pool (hash or sort partials, per the
-// planner's choice), and merge the partials by group key in morsel
-// order — the merge order depends only on the fixed morsel boundaries,
-// so serial and parallel runs produce bit-identical aggregates.
+// single whole-relation scan the §3.2 cost models describe (the radix
+// strategy mirrors its cluster passes and per-partition probes). On
+// the native path, hash and sort grouping partition the input into
+// morsels, group each morsel independently on the worker pool, and
+// merge the partials by group key in morsel order; radix grouping
+// clusters the feed on the low key bits instead and aggregates every
+// partition independently with no merge at all — partitions own
+// disjoint key sets, so per-partition results concatenate in partition
+// order. Within one strategy, every decomposition is fixed (morsel
+// boundaries, partition assignment), so aggregates are bit-identical
+// across worker counts and pipeline modes. Across strategies,
+// keys/counts/min/max agree bitwise but multi-morsel float sums only
+// to rounding: hash merges per-morsel partial sums while radix
+// accumulates each group in global input order — different association
+// of the same additions (on a single morsel the decompositions
+// coincide and even the sums match bitwise).
 func (o *groupAggOp) group(ctx *execCtx, keys []int64, vals []float64) (*agg.GroupResult, error) {
+	if o.strat == aggRadix {
+		if ctx.sim != nil {
+			return agg.RadixGroup(ctx.sim, dsm.ShrinkInts(keys), bat.NewF64(vals), o.radixBits, o.radixPass)
+		}
+		return radixGroupNative(ctx, keys, vals, o.radixBits, o.radixPass)
+	}
 	group := agg.HashGroup
-	if o.useSort {
+	if o.strat == aggSort {
 		group = agg.SortGroup
 	}
 	n := len(keys)
@@ -726,14 +765,18 @@ func (o *groupAggOp) group(ctx *execCtx, keys []int64, vals []float64) (*agg.Gro
 }
 
 func (o *groupAggOp) label() string {
-	if o.useSort {
-		return "GroupAggregate[sort]"
+	if o.strat == aggRadix {
+		return fmt.Sprintf("GroupAggregate[radix bits=%d]", o.radixBits)
 	}
-	return "GroupAggregate[hash]"
+	return fmt.Sprintf("GroupAggregate[%s]", o.strat)
 }
 
 func (o *groupAggOp) detail() string {
-	return fmt.Sprintf("key=%s measure=%s  groups~%.0f  par=%d", o.keyName, o.measStr, o.estGroups, o.par)
+	d := fmt.Sprintf("key=%s measure=%s  groups~%.0f  par=%d", o.keyName, o.measStr, o.estGroups, o.par)
+	if o.strat == aggRadix {
+		d += fmt.Sprintf("  passes=%d  saves~%.1f ms vs hash", o.radixPass, o.savedMS)
+	}
+	return d
 }
 func (o *groupAggOp) kids() []physOp                 { return []physOp{o.in} }
 func (o *groupAggOp) predicted() costmodel.Breakdown { return o.cost }
@@ -898,7 +941,18 @@ func (o *orderByOp) exec(ctx *execCtx) (*fragment, error) {
 		inner := less
 		less = func(a, b int) bool { return inner(b, a) }
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+	// Stable comparison sort without sort.SliceStable's reflection
+	// overhead; same comparator, same stability, so the permutation —
+	// ties included — is identical to the previous implementation.
+	slices.SortStableFunc(idx, func(a, b int) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		}
+		return 0
+	})
 	if ctx.sim != nil {
 		// Charge the comparison sort: n·log2(n) key comparisons.
 		lg := 0

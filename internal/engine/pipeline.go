@@ -35,8 +35,12 @@ import (
 //     worker count. Outputs append in (morsel, vector, row) order, the
 //     gathers perform the same conversions, and the GroupAggregate
 //     sink materializes the identical (key, value) feed arrays before
-//     handing them to the *same* grouping/merge code the materializing
-//     operator uses — so even float aggregates associate identically.
+//     handing them to the *same* grouping code the materializing
+//     operator uses — hash/sort partials-and-merge or the
+//     radix-partitioned path, per the planner's choice — so even float
+//     aggregates associate identically. The AggFeed sink is thus all a
+//     radix GroupAggregate needs: its feed arrays stream straight into
+//     the first cluster pass, with no other intermediate materialized.
 //   - Instrumented runs (sim != nil) never enter the fused path: the
 //     pipeline delegates to the original operator chain, which stays
 //     strictly serial, so the paper's figures reproduce unchanged.
@@ -84,7 +88,11 @@ func (o *pipelineOp) label() string {
 	case o.proj != nil:
 		parts = append(parts, "Project")
 	case o.gagg != nil:
-		parts = append(parts, "Agg")
+		if o.gagg.strat == aggRadix {
+			parts = append(parts, "Agg[radix]")
+		} else {
+			parts = append(parts, "Agg")
+		}
 	}
 	if o.limitN >= 0 {
 		parts = append(parts, "Limit")

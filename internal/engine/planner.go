@@ -31,6 +31,12 @@ type Config struct {
 	// only the intermediate memory traffic differs. Instrumented runs
 	// always take the materializing path regardless.
 	NoPipeline bool
+	// ForceGroup overrides the cost-based grouping choice: "hash",
+	// "sort" or "radix" forces that algorithm for every GroupAggregate
+	// in the plan (the A/B lever behind mlquery's -agg flag and the
+	// strategy cross-check tests); "" keeps the cost-model decision.
+	// Results are byte-identical whichever strategy runs.
+	ForceGroup string
 }
 
 func (c Config) machine() memsim.Machine {
@@ -52,6 +58,11 @@ type PhysicalPlan struct {
 // chains into cache-resident pipelines.
 func Plan(root Node, cfg Config) (*PhysicalPlan, error) {
 	cfg.Machine = cfg.machine()
+	switch cfg.ForceGroup {
+	case "", "hash", "sort", "radix":
+	default:
+		return nil, fmt.Errorf("engine: unknown grouping strategy %q (want hash, sort or radix)", cfg.ForceGroup)
+	}
 	op, _, err := lower(root, cfg)
 	if err != nil {
 		return nil, err
@@ -343,7 +354,7 @@ func lowerSelect(x *SelectNode, cfg Config) (physOp, *shape, error) {
 	scanCost := scanSelectCost(n, c.Width(), k, m)
 
 	rp, isRange := x.Pred.(RangePred)
-	if isRange && indexableI32(c) {
+	if isRange && indexableI32(c) && rangeInI32(rp) {
 		cssCost := cssSelectCost(n, k, m)
 		if cssCost.Total(m) < scanCost.Total(m) {
 			return &selectCSSOp{in: in, col: c, pred: rp, est: frac, cost: cssCost}, out, nil
@@ -383,6 +394,18 @@ func predColumn(s *shape, pred Predicate) (resolvedCol, error) {
 		return resolvedCol{bi, c}, nil
 	}
 	return resolvedCol{}, fmt.Errorf("engine: unknown predicate %T", pred)
+}
+
+// rangeInI32 reports whether both range bounds lie in the int32 domain
+// the CSS-tree indexes. Constants outside it are routed to scan-select
+// — which compares at full int64 width — rather than clamped onto real
+// MinInt32/MaxInt32 key values, which would silently change the
+// predicate (e.g. v > 2^31 must match nothing, not the MaxInt32 rows).
+// selectCSSOp.exec keeps a defensive guard for plans built without
+// this check.
+func rangeInI32(p RangePred) bool {
+	const loMin, hiMax = -1 << 31, 1<<31 - 1
+	return p.Lo >= loMin && p.Lo <= hiMax && p.Hi >= loMin && p.Hi <= hiMax
 }
 
 // indexableI32 reports whether a column can back a CSS-tree (a stored
@@ -473,6 +496,55 @@ func lowerJoin(x *JoinNode, cfg Config) (physOp, *shape, error) {
 	return op, out, nil
 }
 
+// chooseGrouping resolves the grouping algorithm for a GroupAggregate
+// over n tuples with g estimated groups (§3.2 extended): hash while
+// the ~48 bytes/group table stays cache-resident, sort/merge if its
+// flat cost undercuts that, and radix-partitioned aggregation once the
+// table outgrows the caches — cluster the feed on radixBitsFor(g) low
+// key bits (cost-modelled cluster passes + now-cache-resident probes)
+// so each partition's table fits a quarter of L1. Config.ForceGroup
+// overrides the comparison; a forced radix floors the bit count at 1
+// so the partitioning machinery genuinely runs. Config.ForceGroup was
+// already validated by Plan — the one validation point — so every
+// non-forcing value means the cost-based choice here.
+func chooseGrouping(op *groupAggOp, n int, g float64, cfg Config) {
+	m := cfg.Machine
+	bits := radixBitsFor(g, m)
+	passes := core.OptimalPasses(bits, m)
+	hash := groupCost(n, g, false, m)
+	sortc := groupCost(n, g, true, m)
+	var radix costmodel.Breakdown
+	if bits > 0 {
+		radix = radixGroupCost(n, g, bits, passes, m)
+	}
+	setRadix := func() {
+		if bits == 0 {
+			bits, passes = 1, 1
+			radix = radixGroupCost(n, g, bits, passes, m)
+		}
+		op.strat, op.radixBits, op.radixPass = aggRadix, bits, passes
+		op.cost = radix
+		op.savedMS = (hash.Total(m) - radix.Total(m)) / 1e6
+	}
+	switch cfg.ForceGroup {
+	case "hash":
+		op.strat, op.cost = aggHash, hash
+	case "sort":
+		op.strat, op.cost = aggSort, sortc
+	case "radix":
+		setRadix()
+	default:
+		switch {
+		case bits > 0 && radix.Total(m) < hash.Total(m) && radix.Total(m) < sortc.Total(m):
+			setRadix()
+		case sortc.Total(m) < hash.Total(m):
+			op.strat, op.cost = aggSort, sortc
+		default:
+			op.strat, op.cost = aggHash, hash
+		}
+	}
+}
+
 // qualify prints a column name with its table when helpful.
 func qualify(s *shape, bindIdx int, name string) string {
 	if strings.Contains(name, ".") {
@@ -526,15 +598,8 @@ func lowerGroupAgg(x *GroupAggNode, cfg Config) (physOp, *shape, error) {
 	}
 	g := estimateGroups(kc)
 	op.estGroups = g
-	n := int(s.rows)
-	hash := groupCost(n, g, false, m)
-	sortc := groupCost(n, g, true, m)
-	if sortc.Total(m) < hash.Total(m) {
-		op.useSort = true
-		op.cost = sortc.Add(gather)
-	} else {
-		op.cost = hash.Add(gather)
-	}
+	chooseGrouping(op, int(s.rows), g, cfg)
+	op.cost = op.cost.Add(gather)
 	keyKind := KInt
 	if kc.Enc != nil {
 		keyKind = KString

@@ -10,6 +10,7 @@ type Item struct {
 	Order    int32
 	Part     int32
 	Supp     int32
+	Cust     int32 // customer id: high-cardinality, uniformly random
 	Qty      int32
 	Price    float64
 	Discnt   float64
@@ -56,15 +57,26 @@ func Parts(n int, seed uint64) []Part {
 
 // Items generates n deterministic Item rows. Discounts are drawn from
 // {0.00, 0.10} and shipmodes uniformly from ShipModes, echoing the
-// figure's example values.
+// figure's example values. Cust is a uniformly random customer id from
+// [0, max(n/2, 1)) — a high-cardinality group-by key whose accesses
+// have no sequential structure, unlike the dense ascending Order. It
+// draws from its own independent RNG stream, so adding the column
+// left every previously generated column (and with them the repo's
+// earlier benchmark snapshots) byte-for-byte unchanged.
 func Items(n int, seed uint64) []Item {
 	rng := NewRNG(seed)
+	custRNG := NewRNG(seed ^ 0x9e3779b97f4a7c15)
+	custDomain := n / 2
+	if custDomain < 1 {
+		custDomain = 1
+	}
 	items := make([]Item, n)
 	for i := range items {
 		items[i] = Item{
 			Order:    int32(1000 + i),
 			Part:     int32(rng.Intn(2000)),
 			Supp:     int32(rng.Intn(100)),
+			Cust:     int32(custRNG.Intn(custDomain)),
 			Qty:      int32(1 + rng.Intn(50)),
 			Price:    float64(rng.Intn(10000)) / 100,
 			Discnt:   float64(rng.Intn(2)) / 10,

@@ -68,6 +68,7 @@ type QueryBuilder struct {
 	opt     Options
 	hasMach bool
 	noPipe  bool
+	aggStr  string
 }
 
 // Query starts a plan with a scan of a decomposed table.
@@ -106,6 +107,18 @@ func (q *QueryBuilder) Parallel(workers int) *QueryBuilder {
 // differs. Instrumented runs (RunSim) always materialize.
 func (q *QueryBuilder) Pipeline(on bool) *QueryBuilder {
 	q.noPipe = !on
+	return q
+}
+
+// GroupStrategy forces the grouping algorithm for every GroupBy in the
+// plan: "hash" (§3.2 single table), "sort" (sort/merge), or "radix"
+// (radix-partition the feed on the low group-key bits so every
+// partition's table is cache-resident, then aggregate partitions
+// independently with no merge). The empty string (default) restores
+// the cost-model choice. Results are byte-identical whichever strategy
+// runs; only the memory-access pattern differs.
+func (q *QueryBuilder) GroupStrategy(s string) *QueryBuilder {
+	q.aggStr = s
 	return q
 }
 
@@ -164,7 +177,7 @@ func (q *QueryBuilder) Limit(n int) *QueryBuilder {
 
 // Plan lowers the accumulated logical DAG into a physical plan.
 func (q *QueryBuilder) Plan() (*QueryPlan, error) {
-	cfg := engine.Config{Opt: q.opt, NoPipeline: q.noPipe}
+	cfg := engine.Config{Opt: q.opt, NoPipeline: q.noPipe, ForceGroup: q.aggStr}
 	if q.hasMach {
 		cfg.Machine = q.machine
 	}
