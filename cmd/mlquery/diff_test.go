@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"monetlite/internal/engine"
+)
+
+func twoRels() (*engine.Rel, *engine.Rel) {
+	a := &engine.Rel{N: 3, Cols: []engine.RelCol{
+		{Name: "cust", Kind: engine.KInt, Ints: []int64{1, 2, 3}},
+		{Name: "sum", Kind: engine.KFloat, Floats: []float64{10, 20, 30}},
+	}}
+	b := &engine.Rel{N: 3, Cols: []engine.RelCol{
+		{Name: "cust", Kind: engine.KInt, Ints: []int64{1, 2, 3}},
+		{Name: "sum", Kind: engine.KFloat, Floats: []float64{10, 21, 31}},
+	}}
+	return a, b
+}
+
+func TestDiffRels(t *testing.T) {
+	a, b := twoRels()
+
+	got := diffRels(a, b)
+	for _, want := range []string{`column "sum"`, "row 1", "20 vs 21", "2 of 3 rows differ"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diffRels = %q, missing %q", got, want)
+		}
+	}
+	if strings.Contains(got, "\n") {
+		t.Errorf("diffRels must be a single line, got %q", got)
+	}
+
+	short := &engine.Rel{N: 2, Cols: b.Cols}
+	if got := diffRels(a, short); !strings.Contains(got, "shape") {
+		t.Errorf("diffRels on shape mismatch = %q, missing \"shape\"", got)
+	}
+
+	if got := diffRels(a, a); !strings.Contains(got, "no cell-level difference") {
+		t.Errorf("diffRels on equal rels = %q", got)
+	}
+}
+
+// TestFailVerifyExitsNonZero re-executes this test binary as a helper
+// process that hits the -verify failure path, pinning both the
+// non-zero exit status and the one-line diff summary on stderr.
+func TestFailVerifyExitsNonZero(t *testing.T) {
+	if os.Getenv("MLQUERY_FAILVERIFY_HELPER") == "1" {
+		a, b := twoRels()
+		failVerify("Q6 revenue by customer", "serial", diffRels(a, b))
+		return // unreachable: failVerify exits
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestFailVerifyExitsNonZero")
+	cmd.Env = append(os.Environ(), "MLQUERY_FAILVERIFY_HELPER=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("helper process did not fail: err=%v, output=%q", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("helper exited %d, want 1; output=%q", code, out)
+	}
+	line := strings.TrimSpace(string(out))
+	if !strings.HasPrefix(line, "mlquery: Q6 revenue by customer: result differs from serial run: ") {
+		t.Errorf("stderr = %q, want the mlquery one-line verify failure", line)
+	}
+	if !strings.Contains(line, "20 vs 21") {
+		t.Errorf("stderr = %q, missing cell diff", line)
+	}
+}

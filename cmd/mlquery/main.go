@@ -283,8 +283,7 @@ func main() {
 				{"materializing", mustRun(q.build().On(m).Parallel(workers).Pipeline(false).GroupStrategy(aggForce))},
 			} {
 				if !reflect.DeepEqual(res.Rel, alt.res.Rel) {
-					fmt.Fprintf(os.Stderr, "mlquery: %s: result differs from %s run\n", q.name, alt.name)
-					os.Exit(1)
+					failVerify(q.name, alt.name, diffRels(res.Rel, alt.res.Rel))
 				}
 			}
 			// The radix grouping path cross-check (only where the plan
@@ -301,17 +300,14 @@ func main() {
 				radix := mustRun(q.build().On(m).Parallel(workers).Pipeline(pipeOn).GroupStrategy("radix"))
 				radixSerialMat := mustRun(q.build().On(m).Parallel(1).Pipeline(false).GroupStrategy("radix"))
 				if !reflect.DeepEqual(radix.Rel, radixSerialMat.Rel) {
-					fmt.Fprintf(os.Stderr, "mlquery: %s: radix-agg parallel pipelined differs from its serial materializing run\n", q.name)
-					os.Exit(1)
+					failVerify(q.name, "radix-agg serial materializing", diffRels(radix.Rel, radixSerialMat.Rel))
 				}
 				hash := mustRun(q.build().On(m).Parallel(workers).Pipeline(pipeOn).GroupStrategy("hash"))
 				if err := equivalentRels(radix.Rel, hash.Rel); err != nil {
-					fmt.Fprintf(os.Stderr, "mlquery: %s: radix-agg vs hash-agg: %v\n", q.name, err)
-					os.Exit(1)
+					failVerify(q.name, "hash-agg (vs radix-agg)", err.Error())
 				}
 				if err := equivalentRels(res.Rel, hash.Rel); err != nil {
-					fmt.Fprintf(os.Stderr, "mlquery: %s: result vs hash-agg: %v\n", q.name, err)
-					os.Exit(1)
+					failVerify(q.name, "hash-agg", err.Error())
 				}
 				say("verify: byte-identical serial/materializing runs; radix-agg deterministic and equivalent to hash-agg\n")
 			}
@@ -380,6 +376,55 @@ func main() {
 		if err := enc.Encode(rep); err != nil {
 			log.Fatal(err)
 		}
+	}
+}
+
+// failVerify reports one -verify cross-check failure on stderr as a
+// single line and exits non-zero.
+func failVerify(query, against, diff string) {
+	fmt.Fprintf(os.Stderr, "mlquery: %s: result differs from %s run: %s\n", query, against, diff)
+	os.Exit(1)
+}
+
+// diffRels summarizes the first divergence between two result
+// relations in one line: the shape mismatch, the column-header
+// mismatch, or the first differing cell plus how many rows of that
+// column disagree in total.
+func diffRels(a, b *engine.Rel) string {
+	if a.N != b.N || len(a.Cols) != len(b.Cols) {
+		return fmt.Sprintf("shape %d rows x %d cols vs %d rows x %d cols", a.N, len(a.Cols), b.N, len(b.Cols))
+	}
+	for c := range a.Cols {
+		ac, bc := &a.Cols[c], &b.Cols[c]
+		if ac.Name != bc.Name || ac.Kind != bc.Kind {
+			return fmt.Sprintf("column %d header: %s %v vs %s %v", c, ac.Name, ac.Kind, bc.Name, bc.Kind)
+		}
+		first, rows := -1, 0
+		for i := 0; i < a.N; i++ {
+			if relCell(ac, i) != relCell(bc, i) {
+				if first < 0 {
+					first = i
+				}
+				rows++
+			}
+		}
+		if first >= 0 {
+			return fmt.Sprintf("column %q row %d: %s vs %s (%d of %d rows differ)",
+				ac.Name, first, relCell(ac, first), relCell(bc, first), rows, a.N)
+		}
+	}
+	return "no cell-level difference found"
+}
+
+// relCell renders one cell for the diff summary.
+func relCell(c *engine.RelCol, i int) string {
+	switch c.Kind {
+	case engine.KInt:
+		return fmt.Sprintf("%d", c.Ints[i])
+	case engine.KFloat:
+		return fmt.Sprintf("%v", c.Floats[i])
+	default:
+		return c.Strs[i]
 	}
 }
 

@@ -1,0 +1,36 @@
+// monetvet is the engine's static-analysis suite: five analyzers that
+// mechanically enforce the invariants the paper reproduction depends
+// on — zero-alloc kernels (hotalloc), deterministic result and merge
+// order (detorder), strictly-serial fully-mirrored instrumented runs
+// (simpurity), non-nil selection vectors (nonnilsel), and no
+// reflection in the hot packages (noreflect).
+//
+// It runs two ways:
+//
+//	go vet -vettool=$(pwd)/monetvet ./...   # unitchecker protocol, used by CI
+//	monetvet ./...                          # standalone, for local iteration
+//
+// A finding is suppressed with a justified comment on the offending
+// line (or the line above):
+//
+//	//monet:allow <analyzer>[,<analyzer>] <justification>
+package main
+
+import (
+	"monetlite/internal/analysis/detorder"
+	"monetlite/internal/analysis/framework"
+	"monetlite/internal/analysis/hotalloc"
+	"monetlite/internal/analysis/nonnilsel"
+	"monetlite/internal/analysis/noreflect"
+	"monetlite/internal/analysis/simpurity"
+)
+
+func main() {
+	framework.VetMain([]*framework.Analyzer{
+		hotalloc.Analyzer,
+		detorder.Analyzer,
+		simpurity.Analyzer,
+		nonnilsel.Analyzer,
+		noreflect.Analyzer,
+	})
+}

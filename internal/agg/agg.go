@@ -14,8 +14,9 @@
 package agg
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"monetlite/internal/bat"
 	"monetlite/internal/memsim"
@@ -42,7 +43,9 @@ func (g *GroupResult) Sorted() *GroupResult {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return g.Key[idx[a]] < g.Key[idx[b]] })
+	// Keys are unique (one row per group), so a key comparison is a
+	// total order and the reflection-free sort is fully deterministic.
+	slices.SortFunc(idx, func(a, b int) int { return cmp.Compare(g.Key[a], g.Key[b]) })
 	out := &GroupResult{
 		Key:   make([]int64, len(idx)),
 		Count: make([]int64, len(idx)),

@@ -229,6 +229,8 @@ type PartitionAggregator struct {
 // New groups append in first-seen order; existing group rows of res
 // (from earlier partitions) are never touched, because partitions own
 // disjoint key sets.
+//
+//monet:kernel
 func (pa *PartitionAggregator) AggregateInto(res *GroupResult, keys []int64, vals []float64) {
 	if len(keys) == 0 {
 		return

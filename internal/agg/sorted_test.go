@@ -1,0 +1,32 @@
+package agg
+
+import "testing"
+
+// TestSortedCanonicalOrder pins the noreflect fix in Sorted: the
+// reflection-based sort.Slice was replaced with slices.SortFunc, and
+// because group keys are unique the key comparison alone must yield
+// the same canonical permutation, rows moving with their keys.
+func TestSortedCanonicalOrder(t *testing.T) {
+	g := &GroupResult{
+		Key:   []int64{30, 5, 90, -2, 14},
+		Count: []int64{3, 1, 9, 2, 4},
+		Sum:   []float64{30.5, 1.5, 9.25, 2.75, 4.0},
+		Min:   []float64{1, 2, 3, 4, 5},
+		Max:   []float64{10, 20, 30, 40, 50},
+	}
+	s := g.Sorted()
+	wantKeys := []int64{-2, 5, 14, 30, 90}
+	wantCount := []int64{2, 1, 4, 3, 9}
+	for i := range wantKeys {
+		if s.Key[i] != wantKeys[i] {
+			t.Fatalf("Sorted keys = %v, want %v", s.Key, wantKeys)
+		}
+		if s.Count[i] != wantCount[i] {
+			t.Fatalf("Sorted counts did not move with keys: %v, want %v", s.Count, wantCount)
+		}
+	}
+	// The receiver must be untouched (Sorted returns a copy).
+	if g.Key[0] != 30 {
+		t.Fatalf("Sorted mutated its receiver: %v", g.Key)
+	}
+}

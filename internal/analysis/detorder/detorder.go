@@ -1,0 +1,52 @@
+// Package detorder flags iteration-order-dependent constructs in the
+// packages that build results, OID lists, group orders and merge
+// orders (engine, agg, dsm). The engine's contract since PR 3 is that
+// every result is byte-identical to its serial run at any worker
+// count; a `range` over a map (or the maps.Keys/Values/All iterators)
+// is the canonical way to break that silently — group rows appear in
+// random order, float sums associate differently run to run, EXPLAIN
+// output flaps. Iterate a slice, or a sorted copy of the keys, or
+// justify the site with //monet:allow detorder.
+package detorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"monetlite/internal/analysis/framework"
+	"monetlite/internal/analysis/monet"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "detorder",
+	Doc:  "flag nondeterministic iteration order (map range, maps.Keys/Values/All) in result-order-bearing packages",
+	Run:  run,
+}
+
+var mapsIterFuncs = map[string]bool{"Keys": true, "Values": true, "All": true}
+
+func run(pass *framework.Pass) error {
+	if !monet.OrderedPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "range over map has nondeterministic order; package %s builds result/merge orders that must be byte-identical across runs — iterate a slice or a sorted key list", pass.Pkg.Name())
+				}
+			case *ast.CallExpr:
+				if fn := monet.Callee(pass.TypesInfo, n); monet.IsPkgFunc(fn, "maps") && mapsIterFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "maps.%s yields keys in nondeterministic order; iterate a slice or a sorted key list", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"monetlite/internal/analysis/detorder"
+	"monetlite/internal/analysis/framework/analysistest"
+)
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, detorder.Analyzer, "engine", "mathx")
+}

@@ -1,0 +1,54 @@
+// Fixture for the detorder analyzer: package "engine" is in the
+// ordered set, so map-order iteration is banned here.
+package engine
+
+import "maps"
+
+func mapRange(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want "range over map has nondeterministic order"
+		s += v
+	}
+	return s
+}
+
+func mapsKeys(m map[string]int) int {
+	n := 0
+	for range maps.Keys(m) { // want "maps.Keys yields keys in nondeterministic order"
+		n++
+	}
+	return n
+}
+
+func mapsValues(m map[string]int) []int {
+	return maps.Values(m) // want "maps.Values yields keys in nondeterministic order"
+}
+
+// sliceRange pins the compliant form: slices iterate in index order.
+func sliceRange(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// sortedKeys pins the justified-allow form: the keys are sorted
+// immediately after collection, so the map order never escapes.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//monet:allow detorder keys are sorted immediately below, map order never escapes
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

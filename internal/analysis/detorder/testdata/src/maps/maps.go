@@ -1,0 +1,10 @@
+// Stub of the maps iterator API shape detorder keys on; the real
+// package returns iter.Seq values, but only the package name and
+// function names matter to the analyzer.
+package maps
+
+func Keys[M ~map[K]V, K comparable, V any](m M) []K { return nil }
+
+func Values[M ~map[K]V, K comparable, V any](m M) []V { return nil }
+
+func All[M ~map[K]V, K comparable, V any](m M) M { return m }

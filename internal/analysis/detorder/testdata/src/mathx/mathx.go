@@ -1,0 +1,11 @@
+// Fixture control: mathx is not an ordered package, so the same map
+// range that engine.go seeds must produce no finding here.
+package mathx
+
+func sum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,179 @@
+// Package analysistest runs a framework.Analyzer over small fixture
+// packages and checks its diagnostics against // want comments, in
+// the style of x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <analyzer>/testdata/src/<pkg>/*.go. Imports
+// resolve against sibling fixture directories only (testdata/src/dsm,
+// testdata/src/memsim, ...), never the real module or GOROOT: each
+// fixture stubs exactly the API shapes its analyzer keys on, which
+// keeps the suites hermetic and fast. A line producing a diagnostic
+// carries a trailing comment
+//
+//	// want "regexp"
+//
+// (several quoted regexps for several diagnostics). Every diagnostic
+// must be wanted and every want must be matched. //monet:allow
+// suppression and the _test.go exemption are applied exactly as in
+// the real drivers, so fixtures can pin those behaviors too.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"monetlite/internal/analysis/framework"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run analyzes each fixture package under testdata/src and reports
+// any mismatch between diagnostics and // want expectations on t.
+func Run(t *testing.T, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	srcdir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &loader{fset: token.NewFileSet(), srcdir: srcdir, loaded: make(map[string]*fixture)}
+	for _, pkg := range pkgs {
+		fx, err := ld.load(pkg)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", pkg, err)
+		}
+		diags, err := framework.RunPackage(&framework.Package{
+			Fset: ld.fset, Files: fx.files, Types: fx.pkg, Info: fx.info,
+		}, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %q: %v", a.Name, pkg, err)
+		}
+		check(t, ld.fset, fx.files, diags)
+	}
+}
+
+type fixture struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset   *token.FileSet
+	srcdir string
+	loaded map[string]*fixture
+}
+
+func (ld *loader) load(path string) (*fixture, error) {
+	if fx, ok := ld.loaded[path]; ok {
+		if fx == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return fx, nil
+	}
+	ld.loaded[path] = nil // cycle guard
+	dir := filepath.Join(ld.srcdir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q not found under %s (stub it): %w", path, ld.srcdir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no .go files", path)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			fx, err := ld.load(importPath)
+			if err != nil {
+				return nil, err
+			}
+			return fx.pkg, nil
+		}),
+	}
+	info := framework.NewTypesInfo()
+	tpkg, err := tc.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fx := &fixture{pkg: tpkg, files: files, info: info}
+	ld.loaded[path] = fx
+	return fx, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// check matches diagnostics against the fixture's want comments.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []framework.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", posn, arg[1], err)
+						continue
+					}
+					wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", posn, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package framework is a small, self-contained analysis driver in the
+// style of golang.org/x/tools/go/analysis, built on the standard
+// library only (the x/tools module is not vendored here; the Go
+// toolchain's copy lives under cmd/vendor and is unimportable). It
+// provides just the subset monetvet needs: per-package analyzers over
+// parsed+typechecked syntax, the `go vet -vettool` unitchecker
+// protocol (unit.go), a `go list`-based standalone loader
+// (standalone.go), and a fixture test runner (analysistest).
+//
+// Two conventions are enforced centrally, for every analyzer:
+//
+//   - Files ending in _test.go are exempt. The invariants monetvet
+//     encodes (zero-alloc kernels, deterministic merge order,
+//     sim-purity, non-nil selections, no reflection in hot packages)
+//     bind production code; tests may use maps, sort.Slice and
+//     reflection freely.
+//
+//   - A diagnostic may be suppressed with a justified allow comment on
+//     the offending line or the line directly above:
+//
+//     //monet:allow <analyzer>[,<analyzer>...] <justification>
+//
+//     The justification is mandatory: an allow comment without one is
+//     itself reported as a diagnostic, so every suppression in the
+//     tree documents why the invariant does not apply.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Run is invoked once per
+// package with a fully typechecked Pass and reports findings through
+// pass.Reportf.
+type Analyzer struct {
+	Name string // short lower-case identifier, e.g. "hotalloc"
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass) error
+}
+
+// A Pass hands one typechecked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Package bundles the inputs every driver (unitchecker, standalone,
+// analysistest) produces before running analyzers.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// NewTypesInfo returns a types.Info with every map analyzers consult
+// populated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+}
+
+// allowDirective is one parsed //monet:allow comment.
+type allowDirective struct {
+	line      int
+	analyzers map[string]bool
+	justified bool
+	pos       token.Pos
+}
+
+const allowPrefix = "monet:allow"
+
+// parseAllows collects the //monet:allow directives of a file.
+// Malformed directives (no analyzer list, or no justification) are
+// returned separately so RunPackage can report them.
+func parseAllows(fset *token.FileSet, f *ast.File) (byLine map[int][]allowDirective, malformed []Diagnostic) {
+	byLine = make(map[int][]allowDirective)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // block comments don't carry directives
+			}
+			text, ok = strings.CutPrefix(strings.TrimSpace(text), allowPrefix)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				malformed = append(malformed, Diagnostic{
+					Pos:      c.Pos(),
+					Analyzer: "monetvet",
+					Message:  "malformed //monet:allow: want \"//monet:allow <analyzer>[,<analyzer>] <justification>\" (the justification is mandatory)",
+				})
+				continue
+			}
+			d := allowDirective{line: line, analyzers: make(map[string]bool), justified: true, pos: c.Pos()}
+			for _, name := range strings.Split(fields[0], ",") {
+				d.analyzers[name] = true
+			}
+			byLine[line] = append(byLine[line], d)
+		}
+	}
+	return byLine, malformed
+}
+
+// RunPackage runs every analyzer over pkg and returns the surviving
+// diagnostics, sorted by position: findings in _test.go files are
+// dropped, findings covered by a justified //monet:allow on the same
+// or preceding line are suppressed, and malformed allow comments are
+// reported as diagnostics of their own.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allows := make(map[string]map[int][]allowDirective) // filename -> line -> directives
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		byLine, malformed := parseAllows(pkg.Fset, f)
+		allows[name] = byLine
+		diags = append(diags, malformed...)
+	}
+
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		posn := pkg.Fset.Position(d.Pos)
+		if strings.HasSuffix(posn.Filename, "_test.go") {
+			continue
+		}
+		if suppressed(allows[posn.Filename], posn.Line, d.Analyzer) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// suppressed reports whether a justified allow for analyzer covers
+// line (directives apply to their own line and the one below).
+func suppressed(byLine map[int][]allowDirective, line int, analyzer string) bool {
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range byLine[l] {
+			if d.justified && d.analyzers[analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// stubAnalyzer reports one diagnostic at every call expression, which
+// is enough surface to exercise suppression and exemption.
+var stubAnalyzer = &Analyzer{
+	Name: "stub",
+	Doc:  "flag every call",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(call.Pos(), "call here")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func runOn(t *testing.T, files map[string]string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for name, src := range files {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := NewTypesInfo()
+	conf := &types.Config{}
+	tpkg, err := conf.Check("p", fset, parsed, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunPackage(&Package{Fset: fset, Files: parsed, Types: tpkg, Info: info}, []*Analyzer{stubAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestAllowSuppression(t *testing.T) {
+	diags := runOn(t, map[string]string{"p.go": `package p
+
+func g() {}
+
+func unsuppressed() {
+	g()
+}
+
+func sameLine() {
+	g() //monet:allow stub justified reason
+}
+
+func lineAbove() {
+	//monet:allow stub justified reason
+	g()
+}
+
+func wrongAnalyzer() {
+	//monet:allow other justified reason
+	g()
+}
+`})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (unsuppressed + wrongAnalyzer): %v", len(diags), diags)
+	}
+}
+
+func TestMalformedAllowReported(t *testing.T) {
+	diags := runOn(t, map[string]string{"p.go": `package p
+
+func g() {}
+
+func f() {
+	//monet:allow stub
+	g()
+}
+`})
+	// The unjustified directive itself is a diagnostic, and it does
+	// not suppress the finding it sits above.
+	var malformed, call bool
+	for _, d := range diags {
+		if d.Analyzer == "monetvet" && strings.Contains(d.Message, "malformed //monet:allow") {
+			malformed = true
+		}
+		if d.Analyzer == "stub" {
+			call = true
+		}
+	}
+	if !malformed || !call {
+		t.Fatalf("want malformed-allow and unsuppressed call diagnostics, got %v", diags)
+	}
+}
+
+func TestTestFilesExempt(t *testing.T) {
+	diags := runOn(t, map[string]string{
+		"p.go":      "package p\n\nfunc g() {}\n",
+		"p_test.go": "package p\n\nfunc f() {\n\tg()\n}\n",
+	})
+	if len(diags) != 0 {
+		t.Fatalf("findings in _test.go files must be dropped, got %v", diags)
+	}
+}

@@ -1,0 +1,110 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the slice of `go list -json` output the standalone
+// loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string // export data file (-export)
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Standalone loads the packages matching patterns with
+// `go list -deps -export -json`, typechecks each non-dependency
+// package from source against the compiler's export data, runs the
+// analyzers, and prints surviving diagnostics to w. It returns the
+// process exit code: 0 clean, 1 diagnostics, 2 load failure.
+//
+// This is the ergonomic local entry point (`monetvet ./...`); CI and
+// `go vet -vettool` go through the unitchecker protocol instead.
+func Standalone(patterns []string, analyzers []*Analyzer, w io.Writer) int {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(w, "monetvet: go list: %v\n%s", err, stderr.String())
+		return 2
+	}
+
+	exports := make(map[string]string) // package path -> export data file
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			fmt.Fprintf(w, "monetvet: decoding go list output: %v\n", err)
+			return 2
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Error != nil {
+			fmt.Fprintf(w, "monetvet: %s: %s\n", p.ImportPath, p.Error.Err)
+			return 2
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	exit := 0
+	for _, p := range targets {
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(w, "monetvet: %v\n", err)
+				return 2
+			}
+			files = append(files, f)
+		}
+		tc := &types.Config{Importer: imp, Sizes: types.SizesFor("gc", build.Default.GOARCH)}
+		info := NewTypesInfo()
+		tpkg, err := tc.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			fmt.Fprintf(w, "monetvet: %s: %v\n", p.ImportPath, err)
+			return 2
+		}
+		diags, err := RunPackage(&Package{Fset: fset, Files: files, Types: tpkg, Info: info}, analyzers)
+		if err != nil {
+			fmt.Fprintf(w, "monetvet: %s: %v\n", p.ImportPath, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+			exit = 1
+		}
+	}
+	return exit
+}

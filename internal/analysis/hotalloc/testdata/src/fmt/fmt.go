@@ -1,0 +1,7 @@
+// Stub of the fmt API shape hotalloc keys on (package name + error
+// constructor); fixtures never execute it.
+package fmt
+
+func Errorf(format string, args ...any) error { return nil }
+
+func Sprintf(format string, args ...any) string { return format }

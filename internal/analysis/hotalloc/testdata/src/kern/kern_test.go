@@ -1,0 +1,10 @@
+// _test.go files are exempt from every analyzer, kernels included:
+// this seeded violation must produce no finding.
+package kern
+
+import "fmt"
+
+//monet:kernel
+func helperForTests(n int) error {
+	return fmt.Errorf("n=%d", n)
+}

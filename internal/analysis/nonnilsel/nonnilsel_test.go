@@ -1,0 +1,12 @@
+package nonnilsel_test
+
+import (
+	"testing"
+
+	"monetlite/internal/analysis/framework/analysistest"
+	"monetlite/internal/analysis/nonnilsel"
+)
+
+func TestNonnilsel(t *testing.T) {
+	analysistest.Run(t, nonnilsel.Analyzer, "selx")
+}

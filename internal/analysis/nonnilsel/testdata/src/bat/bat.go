@@ -1,0 +1,4 @@
+// Stub of the bat.Oid shape nonnilsel keys on.
+package bat
+
+type Oid uint32

@@ -1,0 +1,96 @@
+// Fixture for the nonnilsel analyzer: nil selection vectors read as
+// "all rows" downstream, so every nil escape shape must be flagged.
+package selx
+
+import "bat"
+
+type errOops struct{}
+
+func (errOops) Error() string { return "oops" }
+
+var errBad error = errOops{}
+
+func retNil(empty bool) []bat.Oid {
+	if empty {
+		return nil // want "selection vector returned as nil on a non-error path"
+	}
+	return []bat.Oid{1}
+}
+
+func retNilNilErr(empty bool) ([]bat.Oid, error) {
+	if empty {
+		return nil, nil // want "selection vector returned as nil on a non-error path"
+	}
+	return []bat.Oid{}, nil
+}
+
+// retNilWithErr pins the error convention: a nil vector beside a
+// non-nil error is fine.
+func retNilWithErr(fail bool) ([]bat.Oid, error) {
+	if fail {
+		return nil, errBad
+	}
+	return []bat.Oid{}, nil
+}
+
+func naked(n int) (out []bat.Oid, err error) {
+	if n == 0 {
+		return // want "naked return with named"
+	}
+	out = append(out, bat.Oid(n))
+	return out, nil
+}
+
+func nilOriginLocal(vals []int32, lo, hi int32) []bat.Oid {
+	var out []bat.Oid
+	for i, v := range vals {
+		if v >= lo && v <= hi {
+			out = append(out, bat.Oid(i))
+		}
+	}
+	return out // want "starts nil"
+}
+
+// reassignedLocal pins that a later make resets the nil origin.
+func reassignedLocal(vals []int32) []bat.Oid {
+	var out []bat.Oid
+	out = make([]bat.Oid, 0, len(vals))
+	for i := range vals {
+		out = append(out, bat.Oid(i))
+	}
+	return out
+}
+
+// initializedLocal pins the intended fix shape.
+func initializedLocal(vals []int32) []bat.Oid {
+	out := []bat.Oid{}
+	for i := range vals {
+		out = append(out, bat.Oid(i))
+	}
+	return out
+}
+
+// closureReturn pins that returns inside a closure are checked against
+// the closure's own signature.
+func closureReturn() []bat.Oid {
+	f := func(ok bool) []bat.Oid {
+		if !ok {
+			return nil // want "selection vector returned as nil on a non-error path"
+		}
+		return []bat.Oid{}
+	}
+	return f(true)
+}
+
+// notASelection pins that other slice types are out of scope.
+func notASelection(empty bool) []int32 {
+	if empty {
+		return nil
+	}
+	return []int32{1}
+}
+
+func allowedNil() []bat.Oid {
+	//monet:allow nonnilsel caller documented to treat nil as index-absent, not all-rows
+	return nil
+}

@@ -1,0 +1,62 @@
+// Package noreflect forbids reflection-driven constructs in the hot
+// packages (core, dsm, agg, hashtab, sel, scan, sortx): importing
+// reflect, the reflection-based sort.Slice family (PR 5 removed one
+// from OrderBy; slices.SortFunc is the monomorphic replacement), and
+// fmt.Sprintf-built map keys (an allocation plus a hash of a formatted
+// string on every probe). These are the constructs that silently turn
+// a per-tuple inner loop into interface boxing and dynamic dispatch.
+package noreflect
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"monetlite/internal/analysis/framework"
+	"monetlite/internal/analysis/monet"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "noreflect",
+	Doc:  "forbid reflect, sort.Slice*, and fmt.Sprintf-keyed maps in the hot packages",
+	Run:  run,
+}
+
+var sortSliceFuncs = map[string]bool{"Slice": true, "SliceStable": true, "SliceIsSorted": true}
+
+func run(pass *framework.Pass) error {
+	if !monet.HotPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "reflect" {
+				pass.Reportf(imp.Pos(), "package %s is a hot package; reflection is banned in per-tuple paths", pass.Pkg.Name())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := monet.Callee(pass.TypesInfo, n)
+				if monet.IsPkgFunc(fn, "sort") && sortSliceFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "sort.%s sorts through reflection; use slices.Sort or slices.SortFunc (same permutation, monomorphic)", fn.Name())
+				}
+			case *ast.IndexExpr:
+				t := pass.TypesInfo.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if call, ok := ast.Unparen(n.Index).(*ast.CallExpr); ok {
+					if fn := monet.Callee(pass.TypesInfo, call); monet.IsPkgFunc(fn, "fmt") && fn.Name() == "Sprintf" {
+						pass.Reportf(n.Index.Pos(), "fmt.Sprintf-keyed map: formats and allocates a string per probe; key on a struct or packed integer instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

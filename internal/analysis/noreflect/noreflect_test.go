@@ -1,0 +1,12 @@
+package noreflect_test
+
+import (
+	"testing"
+
+	"monetlite/internal/analysis/framework/analysistest"
+	"monetlite/internal/analysis/noreflect"
+)
+
+func TestNoreflect(t *testing.T) {
+	analysistest.Run(t, noreflect.Analyzer, "core", "coldpkg")
+}

@@ -1,0 +1,12 @@
+// Fixture control: coldpkg is not a hot package, so the same
+// constructs core.go seeds must produce no finding here.
+package coldpkg
+
+import (
+	_ "reflect"
+	"sort"
+)
+
+func sortThings(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -1,0 +1,31 @@
+// Fixture for the noreflect analyzer: package "core" is in the hot
+// set, so reflection-driven constructs are banned here.
+package core
+
+import (
+	"fmt"
+	_ "reflect" // want "reflection is banned"
+	"sort"
+)
+
+func sortThings(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })       // want "sort.Slice sorts through reflection"
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "sort.SliceStable sorts through reflection"
+	sort.Ints(xs)
+}
+
+func sprintfKey(m map[string]int, a, b int) int {
+	return m[fmt.Sprintf("%d/%d", a, b)] // want "fmt.Sprintf-keyed map"
+}
+
+type pairKey struct{ a, b int }
+
+// structKey pins the intended replacement for formatted keys.
+func structKey(m map[pairKey]int, a, b int) int {
+	return m[pairKey{a, b}]
+}
+
+func allowedSort(xs []int) {
+	//monet:allow noreflect one-shot startup path, never per-tuple
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

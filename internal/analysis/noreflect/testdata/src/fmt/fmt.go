@@ -1,0 +1,4 @@
+// Stub of the fmt API shape noreflect keys on.
+package fmt
+
+func Sprintf(format string, args ...any) string { return format }

@@ -1,0 +1,10 @@
+// Stub of the sort API shape noreflect keys on.
+package sort
+
+func Slice(x any, less func(i, j int) bool) {}
+
+func SliceStable(x any, less func(i, j int) bool) {}
+
+func SliceIsSorted(x any, less func(i, j int) bool) bool { return true }
+
+func Ints(x []int) {}

@@ -1,0 +1,12 @@
+package simpurity_test
+
+import (
+	"testing"
+
+	"monetlite/internal/analysis/framework/analysistest"
+	"monetlite/internal/analysis/simpurity"
+)
+
+func TestSimpurity(t *testing.T) {
+	analysistest.Run(t, simpurity.Analyzer, "engine")
+}

@@ -1,0 +1,13 @@
+// Stub of the core worker-pool API shape simpurity keys on: the
+// Options type, the Serial constructor, and the fan-out entry points.
+package core
+
+type Options struct{ Parallelism int }
+
+func Serial() Options { return Options{Parallelism: 1} }
+
+func Parallel(n int) Options { return Options{Parallelism: n} }
+
+func ForEach(workers, n int, body func(w, i int)) {}
+
+func ForMorsels(workers, n int, body func(m, lo, hi int)) {}

@@ -1,0 +1,9 @@
+// Stub of the simulator handle shape simpurity keys on: a named type
+// Sim in a package named memsim, with pointer-receiver methods.
+package memsim
+
+type Sim struct{}
+
+func (s *Sim) AddCPU(n int, w float64) {}
+
+func (s *Sim) Read(addr uint64, size int) {}

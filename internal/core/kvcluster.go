@@ -23,17 +23,21 @@ import "fmt"
 // complement, so negative keys cluster fine); no hash is applied —
 // partitions own disjoint key sets by construction, which is what lets
 // the aggregation concatenate per-partition results without a merge.
+//
+//monet:kernel
 func RadixClusterKV(keys []int64, vals []float64, bits, passes int, opt Options) ([]int64, []float64, []int, error) {
 	if err := CheckBits(bits); err != nil {
 		return nil, nil, nil, err
 	}
 	if len(keys) != len(vals) {
+		//monet:allow hotalloc cold argument-validation error path
 		return nil, nil, nil, fmt.Errorf("core: key column length %d != value length %d", len(keys), len(vals))
 	}
 	if bits == 0 {
 		return keys, vals, []int{0, len(keys)}, nil
 	}
 	if passes < 1 || passes > bits {
+		//monet:allow hotalloc cold argument-validation error path
 		return nil, nil, nil, fmt.Errorf("core: %d passes invalid for %d bits", passes, bits)
 	}
 	split := EvenBitSplit(bits, passes)
@@ -66,9 +70,11 @@ func RadixClusterKV(keys []int64, vals []float64, bits, passes int, opt Options)
 		hp := 1 << bp
 		mask := uint64(hp - 1)
 		nr := len(regions) - 1
+		//monet:allow hotalloc one region table per pass (<= 3 passes), not per tuple
 		newRegions := make([]int, nr*hp+1)
 		newRegions[nr*hp] = n
 		if workers <= 1 {
+			//monet:allow hotalloc one cursor array per pass (<= 3 passes), not per tuple
 			cursors := make([]int, hp)
 			for r := 0; r < nr; r++ {
 				clusterKVRegion(kSrc, vSrc, kDst, vDst, regions[r], regions[r+1],
@@ -81,6 +87,7 @@ func RadixClusterKV(keys []int64, vals []float64, bits, passes int, opt Options)
 					clusterKVRegionParallel(kSrc, vSrc, kDst, vDst, regions[r], regions[r+1],
 						shift, mask, hp, workers, newRegions[r*hp:(r+1)*hp])
 				} else {
+					//monet:allow hotalloc small-region list grows once per pass, bounded by region count
 					small = append(small, r)
 				}
 			}
@@ -104,6 +111,8 @@ func RadixClusterKV(keys []int64, vals []float64, bits, passes int, opt Options)
 // clusterKVRegion clusters region [lo, hi) of one pass serially:
 // histogram, prefix sum (recording the hp partition boundaries in
 // bounds), stable scatter. cursors is caller-owned scratch of hp ints.
+//
+//monet:kernel
 func clusterKVRegion(kSrc []int64, vSrc []float64, kDst []int64, vDst []float64,
 	lo, hi int, shift uint, mask uint64, hp int, cursors, bounds []int) {
 	for d := range cursors[:hp] {
@@ -131,6 +140,8 @@ func clusterKVRegion(kSrc []int64, vSrc []float64, kDst []int64, vDst []float64,
 // kvRegionFanOut runs the listed independent regions of a pass on a
 // worker pool, one region per worker at a time; region r writes its hp
 // boundaries into newRegions[r*hp : (r+1)*hp].
+//
+//monet:kernel
 func kvRegionFanOut(kSrc []int64, vSrc []float64, kDst []int64, vDst []float64,
 	regions, regionIdx []int, shift uint, mask uint64, hp, workers int, newRegions []int) {
 	if workers > len(regionIdx) {
@@ -154,6 +165,8 @@ func kvRegionFanOut(kSrc []int64, vSrc []float64, kDst []int64, vDst []float64,
 // scatter: worker w's cursor for digit d starts where the digit-d
 // tuples of workers < w end, so every tuple lands exactly where the
 // serial scatter would put it (stability preserved).
+//
+//monet:kernel
 func clusterKVRegionParallel(kSrc []int64, vSrc []float64, kDst []int64, vDst []float64,
 	lo, hi int, shift uint, mask uint64, hp, workers int, bounds []int) {
 	n := hi - lo

@@ -397,6 +397,8 @@ func RadixClusterSplitOpts(sim *memsim.Sim, in *bat.Pairs, split []int, h hashta
 // shift, recording the hp cluster boundaries in bounds. cursors is a
 // caller-owned scratch slice of hp ints. This is the native region
 // body of RadixClusterSplit, shared by the region fan-out.
+//
+//monet:kernel
 func clusterRegionSerial(src, dst *bat.Pairs, lo, hi int, shift uint, mask uint32, hp int, h hashtab.Hash, cursors, bounds []int) {
 	for d := range cursors {
 		cursors[d] = 0
@@ -422,6 +424,8 @@ func clusterRegionSerial(src, dst *bat.Pairs, lo, hi int, shift uint, mask uint3
 // regionFanOut runs the listed independent regions of a clustering
 // pass on a worker pool, one region per worker at a time; region r
 // writes its hp boundaries into newRegions[r*hp : (r+1)*hp].
+//
+//monet:kernel
 func regionFanOut(src, dst *bat.Pairs, regions, regionIdx []int, shift uint, mask uint32, hp int, h hashtab.Hash, workers int, newRegions []int) {
 	if workers > len(regionIdx) {
 		workers = len(regionIdx)
@@ -443,6 +447,8 @@ func regionFanOut(src, dst *bat.Pairs, regions, regionIdx []int, shift uint, mas
 // scatter: worker w's cursor for digit d starts where the tuples of d
 // from workers < w end, so every tuple lands exactly where the serial
 // scatter would put it.
+//
+//monet:kernel
 func clusterRegionParallel(src, dst *bat.Pairs, lo, hi int, shift uint, mask uint32, hp int, h hashtab.Hash, workers int, bounds []int) {
 	n := hi - lo
 	if workers > n {
@@ -460,6 +466,7 @@ func clusterRegionParallel(src, dst *bat.Pairs, lo, hi int, shift uint, mask uin
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			//monet:allow hotalloc one histogram per worker per region, not per tuple
 			c := make([]int, hp)
 			clo, chi := chunk(w)
 			for i := clo; i < chi; i++ {

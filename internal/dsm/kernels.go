@@ -19,6 +19,8 @@ import (
 
 // SelectRangePos appends the storage positions in [from, to) whose
 // numeric column value lies in [lo, hi] to dst, in ascending order.
+//
+//monet:kernel
 func SelectRangePos(c *Column, lo, hi int64, from, to int, dst []int32) []int32 {
 	switch v := c.Vec.(type) {
 	case *bat.I8Vec:
@@ -39,6 +41,7 @@ func SelectRangePos(c *Column, lo, hi int64, from, to int, dst []int32) []int32 
 	}
 }
 
+//monet:kernel
 func selectRangePosSlice[T int8 | int16 | int32 | int64](vals []T, lo, hi int64, from, to int, dst []int32) []int32 {
 	for i, v := range vals[from:to] {
 		if x := int64(v); x >= lo && x <= hi {
@@ -51,6 +54,8 @@ func selectRangePosSlice[T int8 | int16 | int32 | int64](vals []T, lo, hi int64,
 // SelectCodePos appends the storage positions in [from, to) whose
 // unsigned dictionary code equals code to dst — the §3.1 re-mapped
 // string-equality scan as a pipeline stage.
+//
+//monet:kernel
 func SelectCodePos(c *Column, code int64, from, to int, dst []int32) []int32 {
 	switch v := c.Vec.(type) {
 	case *bat.I8Vec:
@@ -67,6 +72,7 @@ func SelectCodePos(c *Column, code int64, from, to int, dst []int32) []int32 {
 	}
 }
 
+//monet:kernel
 func selectCodePosSlice[T int8 | int16](vals []T, code T, from, to int, dst []int32) []int32 {
 	for i, v := range vals[from:to] {
 		if v == code {
@@ -78,6 +84,8 @@ func selectCodePosSlice[T int8 | int16](vals []T, code T, from, to int, dst []in
 
 // FilterRangePos keeps the positions whose numeric column value lies
 // in [lo, hi], compacting pos in place (a refilter pipeline stage).
+//
+//monet:kernel
 func FilterRangePos(c *Column, lo, hi int64, pos []int32) []int32 {
 	switch v := c.Vec.(type) {
 	case *bat.I8Vec:
@@ -99,6 +107,7 @@ func FilterRangePos(c *Column, lo, hi int64, pos []int32) []int32 {
 	}
 }
 
+//monet:kernel
 func filterRangePosSlice[T int8 | int16 | int32 | int64](vals []T, lo, hi int64, pos []int32) []int32 {
 	out := pos[:0]
 	for _, p := range pos {
@@ -111,6 +120,8 @@ func filterRangePosSlice[T int8 | int16 | int32 | int64](vals []T, lo, hi int64,
 
 // FilterCodePos keeps the positions whose unsigned dictionary code
 // equals code, compacting pos in place.
+//
+//monet:kernel
 func FilterCodePos(c *Column, code int64, pos []int32) []int32 {
 	switch v := c.Vec.(type) {
 	case *bat.I8Vec:
@@ -128,6 +139,7 @@ func FilterCodePos(c *Column, code int64, pos []int32) []int32 {
 	}
 }
 
+//monet:kernel
 func filterCodePosSlice[T int8 | int16](vals []T, code T, pos []int32) []int32 {
 	out := pos[:0]
 	for _, p := range pos {
@@ -140,6 +152,8 @@ func filterCodePosSlice[T int8 | int16](vals []T, code T, pos []int32) []int32 {
 
 // AppendIntsPos appends the widened integer values at the given
 // positions to dst (signed, exactly like the materializing gather).
+//
+//monet:kernel
 func AppendIntsPos(dst []int64, c *Column, pos []int32) []int64 {
 	switch v := c.Vec.(type) {
 	case *bat.I8Vec:
@@ -158,6 +172,7 @@ func AppendIntsPos(dst []int64, c *Column, pos []int32) []int64 {
 	}
 }
 
+//monet:kernel
 func appendIntsPosSlice[T int8 | int16 | int32 | int64](dst []int64, vals []T, pos []int32) []int64 {
 	for _, p := range pos {
 		dst = append(dst, int64(vals[p]))
@@ -167,6 +182,8 @@ func appendIntsPosSlice[T int8 | int16 | int32 | int64](dst []int64, vals []T, p
 
 // AppendCodesPos appends the unsigned dictionary codes at the given
 // positions to dst (the wraparound-corrected form the group keys use).
+//
+//monet:kernel
 func AppendCodesPos(dst []int64, c *Column, pos []int32) []int64 {
 	wrap := CodeWrap(c)
 	at := len(dst)
@@ -183,6 +200,8 @@ func AppendCodesPos(dst []int64, c *Column, pos []int32) []int64 {
 
 // AppendFloatsPos appends the float-widened values at the given
 // positions to dst.
+//
+//monet:kernel
 func AppendFloatsPos(dst []float64, c *Column, pos []int32) []float64 {
 	switch v := c.Vec.(type) {
 	case *bat.F64Vec:
@@ -206,6 +225,7 @@ func AppendFloatsPos(dst []float64, c *Column, pos []int32) []float64 {
 	}
 }
 
+//monet:kernel
 func appendFloatsPosSlice[T int8 | int16 | int32 | int64](dst []float64, vals []T, pos []int32) []float64 {
 	for _, p := range pos {
 		dst = append(dst, float64(vals[p]))
@@ -216,12 +236,16 @@ func appendFloatsPosSlice[T int8 | int16 | int32 | int64](dst []float64, vals []
 // GatherFloatsPos fills dst[:len(pos)] with the float-widened values
 // at the given positions — the scratch-buffer form AppendFloatsPos
 // takes when the result is consumed immediately (measure operands).
+//
+//monet:kernel
 func GatherFloatsPos(c *Column, pos []int32, dst []float64) []float64 {
 	return AppendFloatsPos(dst[:0], c, pos)
 }
 
 // AppendStringsPos appends the decoded string values at the given
 // positions to dst (dictionary decode, or direct string storage).
+//
+//monet:kernel
 func AppendStringsPos(dst []string, c *Column, pos []int32) ([]string, error) {
 	if c.Enc != nil {
 		for _, p := range pos {
@@ -231,6 +255,7 @@ func AppendStringsPos(dst []string, c *Column, pos []int32) ([]string, error) {
 	}
 	sv, ok := c.Vec.(*bat.StrVec)
 	if !ok {
+		//monet:allow hotalloc cold mistyped-column error path, runs at most once per query
 		return nil, fmt.Errorf("dsm: column %q is not a string column", c.Def.Name)
 	}
 	for _, p := range pos {

@@ -1,0 +1,92 @@
+package dsm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"monetlite/internal/bat"
+)
+
+// FuzzSelectRangePos checks the positional range-select kernel, at
+// every stored width, against a materializing oracle that re-reads the
+// column through the generic Vector.Int accessor:
+//
+//   - exactly the positions whose value lies in [lo, hi] are emitted;
+//   - positions come out ascending, restricted to [from, to);
+//   - the kernel appends to (and returns) the caller's buffer — an
+//     existing prefix must survive untouched.
+func FuzzSelectRangePos(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, int64(-10), int64(10), uint8(0), uint8(255), uint8(2))
+	f.Add([]byte{}, int64(0), int64(0), uint8(0), uint8(0), uint8(1))
+	f.Add([]byte{0x80, 0x7f, 0x00, 0xff}, int64(-128), int64(127), uint8(0), uint8(4), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, lo, hi int64, fromRaw, toRaw, width uint8) {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var vec bat.Vector
+		switch width % 4 {
+		case 0:
+			vals := make([]int8, len(data))
+			for i, b := range data {
+				vals[i] = int8(b)
+			}
+			vec = bat.NewI8(vals)
+		case 1:
+			vals := make([]int16, len(data)/2)
+			for i := range vals {
+				vals[i] = int16(binary.LittleEndian.Uint16(data[2*i:]))
+			}
+			vec = bat.NewI16(vals)
+		case 2:
+			vals := make([]int32, len(data)/4)
+			for i := range vals {
+				vals[i] = int32(binary.LittleEndian.Uint32(data[4*i:]))
+			}
+			vec = bat.NewI32(vals)
+		default:
+			vals := make([]int64, len(data)/8)
+			for i := range vals {
+				vals[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+			}
+			vec = bat.NewI64(vals)
+		}
+		n := vec.Len()
+		from := 0
+		if n > 0 {
+			from = int(fromRaw) % (n + 1)
+		}
+		to := from
+		if n > from {
+			to = from + int(toRaw)%(n-from+1)
+		}
+		col := &Column{Def: ColumnDef{Name: "v", Type: LInt}, Vec: vec}
+
+		// Materializing oracle over the generic accessor.
+		var want []int32
+		for i := from; i < to; i++ {
+			if x := vec.Int(i); x >= lo && x <= hi {
+				want = append(want, int32(i))
+			}
+		}
+
+		prefix := []int32{-7, -9}
+		dst := make([]int32, len(prefix), len(prefix)+len(want))
+		copy(dst, prefix)
+		got := SelectRangePos(col, lo, hi, from, to, dst)
+
+		if len(got) != len(prefix)+len(want) {
+			t.Fatalf("SelectRangePos emitted %d positions, oracle %d (width %d, [%d,%d], rows [%d,%d))",
+				len(got)-len(prefix), len(want), vec.Width(), lo, hi, from, to)
+		}
+		for i, p := range prefix {
+			if got[i] != p {
+				t.Fatalf("caller's buffer prefix clobbered: %v", got[:len(prefix)])
+			}
+		}
+		for i, p := range want {
+			if got[len(prefix)+i] != p {
+				t.Fatalf("position %d: got %d, oracle %d", i, got[len(prefix)+i], p)
+			}
+		}
+	})
+}

@@ -86,6 +86,8 @@ func estimateCapRange(from, to int, test func(i int) bool) int {
 
 // nativeSelectRange is the uninstrumented scan-select: one tight loop
 // per physical width, no Touch, preallocated output.
+//
+//monet:kernel
 func nativeSelectRange(c *Column, lo, hi int64) []bat.Oid {
 	return nativeSelectRangeAt(c, lo, hi, 0, c.Vec.Len())
 }
@@ -93,6 +95,8 @@ func nativeSelectRange(c *Column, lo, hi int64) []bat.Oid {
 // nativeSelectRangeAt scans positions [from, to) only — the morsel
 // body of the parallel scan-select (OIDs ascend within the range, so
 // concatenating morsel outputs in order reproduces the full scan).
+//
+//monet:kernel
 func nativeSelectRangeAt(c *Column, lo, hi int64, from, to int) []bat.Oid {
 	switch v := c.Vec.(type) {
 	case *bat.I8Vec:
@@ -120,6 +124,8 @@ func nativeSelectRangeAt(c *Column, lo, hi int64, from, to int) []bat.Oid {
 // selectSlice scans one typed slice, emitting OIDs offset by base.
 // Widths narrower than the bounds clamp correctly because the
 // comparison widens each element.
+//
+//monet:kernel
 func selectSlice[T int8 | int16 | int32 | int64](vals []T, lo, hi int64, base int) []bat.Oid {
 	out := make([]bat.Oid, 0, estimateCapRange(0, len(vals), func(i int) bool {
 		x := int64(vals[i])
@@ -183,12 +189,16 @@ func (t *Table) SelectString(sim *memsim.Sim, column, value string) ([]bat.Oid, 
 // nativeSelectCode is the uninstrumented byte-code equality scan: the
 // re-mapped string predicate on the 1-/2-byte code column, as one
 // tight loop with preallocated output.
+//
+//monet:kernel
 func nativeSelectCode(c *Column, code int64) []bat.Oid {
 	return nativeSelectCodeAt(c, code, 0, c.Vec.Len())
 }
 
 // nativeSelectCodeAt scans positions [from, to) only — the morsel body
 // of the parallel byte-code equality scan.
+//
+//monet:kernel
 func nativeSelectCodeAt(c *Column, code int64, from, to int) []bat.Oid {
 	switch v := c.Vec.(type) {
 	case *bat.I8Vec:
@@ -211,6 +221,8 @@ func nativeSelectCodeAt(c *Column, code int64, from, to int) []bat.Oid {
 // type, so each comparison is a single machine-width compare (codes
 // are stored with wraparound, and narrowing the unsigned code value
 // applies the same wraparound).
+//
+//monet:kernel
 func selectEqSlice[T int8 | int16](vals []T, code T, base int) []bat.Oid {
 	out := make([]bat.Oid, 0, estimateCapRange(0, len(vals), func(i int) bool { return vals[i] == code }))
 	for i, v := range vals {

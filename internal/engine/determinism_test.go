@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestPlanCostDeterministic pins the detorder fix in the group-agg
+// planner: the measure operands' gather costs are floats accumulated
+// into one Breakdown, and summing them in map-iteration order made the
+// predicted totals (and therefore EXPLAIN) differ run to run. Planning
+// the same multi-operand measure repeatedly must yield byte-identical
+// EXPLAIN output.
+func TestPlanCostDeterministic(t *testing.T) {
+	tbl := itemTable(t, 1<<14)
+	build := func() string {
+		plan := mustPlan(t, &GroupAggNode{
+			Input: &ScanNode{Table: tbl},
+			Key:   "shipmode",
+			Measure: BinExpr{Op: '+',
+				L: BinExpr{Op: '*', L: ColExpr{Name: "price"}, R: ColExpr{Name: "qty"}},
+				R: BinExpr{Op: '*', L: ColExpr{Name: "discnt"}, R: ColExpr{Name: "tax"}},
+			},
+		})
+		return plan.Explain()
+	}
+	want := build()
+	for i := 0; i < 20; i++ {
+		if got := build(); got != want {
+			t.Fatalf("plan %d differs from plan 0:\n--- want\n%s\n--- got\n%s", i+1, want, got)
+		}
+	}
+}

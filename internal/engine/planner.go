@@ -583,7 +583,13 @@ func lowerGroupAgg(x *GroupAggNode, cfg Config) (physOp, *shape, error) {
 	op.measure = bindExpr(x.Measure, order)
 	op.operands = make([]opCol, len(order))
 	var gather costmodel.Breakdown
-	for name, idx := range order {
+	// Iterate in slot order (first appearance in the expression), not
+	// map order: the gather-cost floats below accumulate into a sum,
+	// and float addition in random map order makes EXPLAIN output flap
+	// run to run. exprColumns walks the expression exactly as bindExpr
+	// does, so it yields each name at its assigned operand index.
+	for _, name := range exprColumns(x.Measure) {
+		idx := order[name]
 		bi, c, err := s.resolve(name)
 		if err != nil {
 			return nil, nil, err

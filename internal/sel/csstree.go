@@ -125,12 +125,14 @@ func (t *CSSTree) lowerBound(sim *memsim.Sim, key int32) int {
 	return p
 }
 
-// Lookup returns the OIDs of all leaf entries equal to key.
+// Lookup returns the OIDs of all leaf entries equal to key. The
+// result is never nil: engine bindings read a nil OID list as "all
+// rows", so an empty match must stay a non-nil empty slice.
 func (t *CSSTree) Lookup(sim *memsim.Sim, key int32) []bat.Oid {
+	out := []bat.Oid{}
 	if len(t.levels[0]) == 0 {
-		return nil
+		return out
 	}
-	var out []bat.Oid
 	leaf := t.levels[0]
 	for i := t.lowerBound(sim, key); i < len(leaf) && leaf[i] == key; i++ {
 		if sim != nil {
@@ -145,11 +147,12 @@ func (t *CSSTree) Lookup(sim *memsim.Sim, key int32) []bat.Oid {
 
 // RangeSelect returns the OIDs of all values in [lo, hi]: one descent
 // plus a sequential leaf scan (the cache-friendly part of the design).
+// Like Lookup, it never returns nil — nil means "all rows" downstream.
 func (t *CSSTree) RangeSelect(sim *memsim.Sim, lo, hi int32) []bat.Oid {
+	out := []bat.Oid{}
 	if len(t.levels[0]) == 0 {
-		return nil
+		return out
 	}
-	var out []bat.Oid
 	leaf := t.levels[0]
 	for i := t.lowerBound(sim, lo); i < len(leaf) && leaf[i] <= hi; i++ {
 		if sim != nil {

@@ -1,0 +1,74 @@
+package sel
+
+import (
+	"testing"
+
+	"monetlite/internal/bat"
+)
+
+// The engine reads a nil OID list as "all rows" (void-head
+// semantics), so every index lookup must return a non-nil empty slice
+// when nothing matches — the bug class monetvet's nonnilsel analyzer
+// flagged in CSSTree, TTree and HashIndex. These tests pin the fix
+// for both empty-input and no-match shapes.
+
+func nonNilEmpty(t *testing.T, name string, got []bat.Oid) {
+	t.Helper()
+	if got == nil {
+		t.Errorf("%s returned nil for an empty selection; nil reads as \"all rows\" downstream", name)
+	}
+	if len(got) != 0 {
+		t.Errorf("%s returned %v for an empty selection, want []", name, got)
+	}
+}
+
+func TestEmptySelectionsNonNil(t *testing.T) {
+	empty := NewColumn(nil)
+	some := NewColumn([]int32{10, 20, 30, 20})
+
+	// Duplicates of 20 sit at OIDs 1 and 3; the (val, oid) build order
+	// must surface them ascending (pins the reflection-free sortedEntries).
+	wantDup := []bat.Oid{1, 3}
+
+	t.Run("csstree", func(t *testing.T) {
+		et := BuildCSSTree(nil, empty)
+		nonNilEmpty(t, "empty-tree Lookup", et.Lookup(nil, 5))
+		nonNilEmpty(t, "empty-tree RangeSelect", et.RangeSelect(nil, 0, 100))
+		st := BuildCSSTree(nil, some)
+		nonNilEmpty(t, "no-match Lookup", st.Lookup(nil, 5))
+		nonNilEmpty(t, "no-match RangeSelect", st.RangeSelect(nil, 40, 100))
+		checkOids(t, "Lookup(20)", st.Lookup(nil, 20), wantDup)
+	})
+
+	t.Run("ttree", func(t *testing.T) {
+		et := BuildTTree(nil, empty)
+		nonNilEmpty(t, "empty-tree Lookup", et.Lookup(nil, 5))
+		nonNilEmpty(t, "empty-tree RangeSelect", et.RangeSelect(nil, 0, 100))
+		st := BuildTTree(nil, some)
+		nonNilEmpty(t, "no-match Lookup", st.Lookup(nil, 5))
+		nonNilEmpty(t, "no-match RangeSelect", st.RangeSelect(nil, 40, 100))
+		checkOids(t, "Lookup(20)", st.Lookup(nil, 20), wantDup)
+	})
+
+	t.Run("hashindex", func(t *testing.T) {
+		st := BuildHashIndex(nil, some)
+		nonNilEmpty(t, "no-match Lookup", st.Lookup(nil, 5))
+		if got := st.Lookup(nil, 20); len(got) != 2 {
+			t.Errorf("Lookup(20) = %v, want 2 hits", got)
+		}
+	})
+}
+
+func checkOids(t *testing.T, name string, got, want []bat.Oid) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s = %v, want %v", name, got, want)
+		return
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s = %v, want %v", name, got, want)
+			return
+		}
+	}
+}

@@ -12,8 +12,9 @@
 package sel
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"monetlite/internal/bat"
 	"monetlite/internal/memsim"
@@ -143,7 +144,7 @@ func BuildHashIndex(sim *memsim.Sim, c *Column) *HashIndex {
 
 // Lookup returns the OIDs of all values equal to key.
 func (ix *HashIndex) Lookup(sim *memsim.Sim, key int32) []bat.Oid {
-	var out []bat.Oid
+	out := []bat.Oid{} // never nil: nil reads as "all rows" downstream
 	h := uint32(key) & ix.mask
 	if sim != nil {
 		sim.Read(ix.headBase+uint64(h)*4, 4)
@@ -175,11 +176,13 @@ func sortedEntries(c *Column) []entry {
 	for i, v := range c.Vals {
 		es[i] = entry{val: v, oid: bat.Oid(i)}
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].val != es[j].val {
-			return es[i].val < es[j].val
+	// (val, oid) pairs are unique, so this order is total and the
+	// reflection-free sort is fully deterministic.
+	slices.SortFunc(es, func(a, b entry) int {
+		if c := cmp.Compare(a.val, b.val); c != 0 {
+			return c
 		}
-		return es[i].oid < es[j].oid
+		return cmp.Compare(a.oid, b.oid)
 	})
 	return es
 }

@@ -103,7 +103,7 @@ func (n *tnode) bounds() (int32, int32) {
 
 // Lookup returns the OIDs of all entries equal to key.
 func (t *TTree) Lookup(sim *memsim.Sim, key int32) []bat.Oid {
-	var out []bat.Oid
+	out := []bat.Oid{} // never nil: nil reads as "all rows" downstream
 	idx := t.root
 	for idx != -1 {
 		n := &t.nodes[idx]
@@ -172,7 +172,7 @@ func (t *TTree) collectEqual(sim *memsim.Sim, idx int32, key int32) []bat.Oid {
 // RangeSelect returns the OIDs of all values in [lo, hi] via an
 // in-order traversal pruned by node bounds.
 func (t *TTree) RangeSelect(sim *memsim.Sim, lo, hi int32) []bat.Oid {
-	var out []bat.Oid
+	out := []bat.Oid{} // never nil: nil reads as "all rows" downstream
 	var walk func(idx int32)
 	walk = func(idx int32) {
 		if idx == -1 {
