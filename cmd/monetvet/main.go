@@ -1,9 +1,10 @@
-// monetvet is the engine's static-analysis suite: five analyzers that
+// monetvet is the engine's static-analysis suite: six analyzers that
 // mechanically enforce the invariants the paper reproduction depends
 // on — zero-alloc kernels (hotalloc), deterministic result and merge
 // order (detorder), strictly-serial fully-mirrored instrumented runs
-// (simpurity), non-nil selection vectors (nonnilsel), and no
-// reflection in the hot packages (noreflect).
+// (simpurity), non-nil selection vectors (nonnilsel), no reflection
+// in the hot packages (noreflect), and nil-guarded profiling hooks in
+// kernel loops (proffree).
 //
 // It runs two ways:
 //
@@ -22,6 +23,7 @@ import (
 	"monetlite/internal/analysis/hotalloc"
 	"monetlite/internal/analysis/nonnilsel"
 	"monetlite/internal/analysis/noreflect"
+	"monetlite/internal/analysis/proffree"
 	"monetlite/internal/analysis/simpurity"
 )
 
@@ -32,5 +34,6 @@ func main() {
 		simpurity.Analyzer,
 		nonnilsel.Analyzer,
 		noreflect.Analyzer,
+		proffree.Analyzer,
 	})
 }

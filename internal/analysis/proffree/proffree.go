@@ -1,0 +1,304 @@
+// Package proffree enforces the zero-cost-when-disabled contract of
+// the execution profiler inside //monet:kernel functions. Profiling
+// hooks (methods on engine.Profile, core.SpanRecorder, or the
+// per-operator OpStats nodes) are observation-only and must vanish
+// when profiling is off; the engine's idiom is a nil check on the
+// hook receiver hoisted around the call:
+//
+//	if ctx.spans != nil {
+//	    start := ctx.spans.Clock()
+//	    ...
+//	    ctx.spans.Record(w, m, start)
+//	}
+//
+// Inside a kernel's inner loops the analyzer flags any profiling-hook
+// method call whose receiver is not covered by such a guard — either
+// an enclosing `if recv != nil { ... }` body, or an earlier
+// `if recv == nil { return/continue/break }` early-out in the same
+// block. An unguarded hook call per iteration is exactly the kind of
+// hidden per-tuple cost the paper's cache-resident loops cannot
+// afford, and it dodges the allocation gates because the call itself
+// may not allocate.
+//
+// Like the rest of monetvet, profiling types are recognized by type
+// name (Profile, SpanRecorder, OpStats) so the analyzer works on both
+// the real tree and analysistest fixture stubs.
+package proffree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"monetlite/internal/analysis/framework"
+	"monetlite/internal/analysis/monet"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "proffree",
+	Doc:  "flag unguarded profiling-hook calls inside //monet:kernel loops",
+	Run:  run,
+}
+
+// profTypes are the type names whose methods count as profiling
+// hooks.
+var profTypes = map[string]bool{
+	"Profile":      true,
+	"SpanRecorder": true,
+	"OpStats":      true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil && monet.IsKernel(fn) {
+				c := &checker{pass: pass}
+				c.block(fn.Body.List, nil, 0)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *framework.Pass
+}
+
+// guards is the set of receiver expressions (by printed form) proven
+// non-nil at the current point. Extension copies so sibling branches
+// stay independent.
+type guards map[string]bool
+
+func (g guards) with(e ast.Expr) guards {
+	out := make(guards, len(g)+1)
+	for k := range g {
+		out[k] = true
+	}
+	out[types.ExprString(ast.Unparen(e))] = true
+	return out
+}
+
+// block walks a statement list, threading guards established by
+// early-out statements (`if recv == nil { return }`) into the
+// statements that follow them.
+func (c *checker) block(stmts []ast.Stmt, g guards, depth int) {
+	for _, s := range stmts {
+		c.stmt(s, g, depth)
+		if ifs, ok := s.(*ast.IfStmt); ok && ifs.Else == nil && terminates(ifs.Body) {
+			for _, e := range nilWhenTrue(ifs.Cond) {
+				g = g.with(e)
+			}
+		}
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, g guards, depth int) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		c.block(s.List, g, depth)
+	case *ast.IfStmt:
+		c.stmt(s.Init, g, depth)
+		c.exprs(g, depth, s.Cond)
+		bodyG := g
+		for _, e := range nonNilWhenTrue(s.Cond) {
+			bodyG = bodyG.with(e)
+		}
+		c.block(s.Body.List, bodyG, depth)
+		if s.Else != nil {
+			elseG := g
+			for _, e := range nilWhenTrue(s.Cond) {
+				elseG = elseG.with(e)
+			}
+			c.stmt(s.Else, elseG, depth)
+		}
+	case *ast.ForStmt:
+		c.stmt(s.Init, g, depth)
+		// Cond and post run once per iteration, so hooks there count
+		// as in-loop.
+		c.exprs(g, depth+1, s.Cond)
+		c.stmt(s.Post, g, depth+1)
+		c.block(s.Body.List, g, depth+1)
+	case *ast.RangeStmt:
+		c.exprs(g, depth, s.X)
+		c.block(s.Body.List, g, depth+1)
+	case *ast.SwitchStmt:
+		c.stmt(s.Init, g, depth)
+		c.exprs(g, depth, s.Tag)
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CaseClause)
+			for _, le := range cl.List {
+				c.exprs(g, depth, le)
+			}
+			c.block(cl.Body, g, depth)
+		}
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init, g, depth)
+		c.stmt(s.Assign, g, depth)
+		for _, cc := range s.Body.List {
+			c.block(cc.(*ast.CaseClause).Body, g, depth)
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			c.stmt(comm.Comm, g, depth)
+			c.block(comm.Body, g, depth)
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, g, depth)
+	default:
+		// Leaf statements (expression, assignment, return, go, defer,
+		// inc/dec, send, declaration): scan their expressions. Leaf
+		// statements contain no nested statements outside func
+		// literals, which the walker intercepts.
+		c.exprs(g, depth, s)
+	}
+}
+
+// exprs scans nodes for profiling-hook calls at the given loop depth,
+// descending into func literals with the same guards — the engine's
+// closures (morsel bodies, span bodies) run inline under the guard
+// that encloses their creation.
+func (c *checker) exprs(g guards, depth int, es ...ast.Node) {
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				c.block(n.Body.List, g, depth)
+				return false
+			case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+				*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				// Only reachable through a FuncLit body, which block()
+				// already re-enters; never via a plain expression.
+				return false
+			case *ast.CallExpr:
+				c.checkCall(n, g, depth)
+			}
+			return true
+		})
+	}
+}
+
+// checkCall flags an in-loop method call on a profiling type whose
+// receiver is not proven non-nil.
+func (c *checker) checkCall(call *ast.CallExpr, g guards, depth int) {
+	if depth == 0 {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return // package-qualified call, not a method
+	}
+	name := profTypeName(c.pass.TypesInfo.TypeOf(sel.X))
+	if name == "" {
+		return
+	}
+	recv := types.ExprString(ast.Unparen(sel.X))
+	if g[recv] {
+		return
+	}
+	c.pass.Reportf(call.Pos(),
+		"profiling hook %s.%s (method on %s) inside a kernel loop without a nil guard on %s: profiling must be zero-cost when disabled; wrap the call in `if %s != nil { ... }` or return early when it is nil",
+		recv, sel.Sel.Name, name, recv, recv)
+}
+
+// profTypeName returns the profiling type name t resolves to (through
+// a pointer), or "".
+func profTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || !profTypes[named.Obj().Name()] {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// nonNilWhenTrue returns the expressions proven non-nil when cond is
+// true: `x != nil`, possibly conjoined (`x != nil && y != nil`).
+func nonNilWhenTrue(cond ast.Expr) []ast.Expr {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	if b.Op == token.LAND {
+		return append(nonNilWhenTrue(b.X), nonNilWhenTrue(b.Y)...)
+	}
+	if e, isEq := nilCompare(b); e != nil && !isEq {
+		return []ast.Expr{e}
+	}
+	return nil
+}
+
+// nilWhenTrue returns the expressions known nil when cond is true:
+// `x == nil`, possibly disjoined (`x == nil || y == nil` — if the
+// guarded body terminates, both are non-nil afterwards).
+func nilWhenTrue(cond ast.Expr) []ast.Expr {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	if b.Op == token.LOR {
+		return append(nilWhenTrue(b.X), nilWhenTrue(b.Y)...)
+	}
+	if e, isEq := nilCompare(b); e != nil && isEq {
+		return []ast.Expr{e}
+	}
+	return nil
+}
+
+// nilCompare decomposes `x == nil` / `x != nil` (either operand
+// order) into the non-nil operand and whether the operator is ==.
+func nilCompare(b *ast.BinaryExpr) (ast.Expr, bool) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return nil, false
+	}
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	if isNil(y) {
+		return x, b.Op == token.EQL
+	}
+	if isNil(x) {
+		return y, b.Op == token.EQL
+	}
+	return nil, false
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether the block's last statement leaves the
+// enclosing scope (return, break, continue, goto, or panic), making
+// it a valid early-out guard body.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package proffree_test
+
+import (
+	"testing"
+
+	"monetlite/internal/analysis/framework/analysistest"
+	"monetlite/internal/analysis/proffree"
+)
+
+func TestProffree(t *testing.T) {
+	analysistest.Run(t, proffree.Analyzer, "kern")
+}

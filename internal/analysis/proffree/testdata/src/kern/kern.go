@@ -1,0 +1,119 @@
+// Fixture for the proffree analyzer: profiling hooks inside
+// //monet:kernel loops must be nil-guarded so disabled profiling
+// costs nothing. The stub types mirror engine.Profile and
+// core.SpanRecorder by name, which is how monetvet recognizes them.
+package kern
+
+type Profile struct{ rows int64 }
+
+func (p *Profile) AddStage(rows int64) { p.rows += rows }
+
+type SpanRecorder struct{ last int64 }
+
+func (r *SpanRecorder) Clock() int64             { return r.last }
+func (r *SpanRecorder) Record(w, u int, s int64) { r.last = s }
+
+type execCtx struct {
+	prof  *Profile
+	spans *SpanRecorder
+}
+
+//monet:kernel
+func unguarded(ctx *execCtx, n int) {
+	for i := 0; i < n; i++ {
+		ctx.spans.Record(0, i, 0) // want "profiling hook"
+	}
+}
+
+//monet:kernel
+func guardedInLoop(ctx *execCtx, n int) {
+	for i := 0; i < n; i++ {
+		if ctx.spans != nil {
+			start := ctx.spans.Clock()
+			ctx.spans.Record(0, i, start)
+		}
+	}
+}
+
+//monet:kernel
+func earlyReturn(ctx *execCtx, n int) int {
+	if ctx.spans == nil {
+		return work(n)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		start := ctx.spans.Clock()
+		total += work(i)
+		ctx.spans.Record(0, i, start)
+	}
+	return total
+}
+
+//monet:kernel
+func earlyContinue(ctx *execCtx, n int) {
+	for i := 0; i < n; i++ {
+		if ctx.prof == nil {
+			continue
+		}
+		ctx.prof.AddStage(int64(i))
+	}
+}
+
+// wrongGuard checks the receiver match is exact: guarding prof does
+// not license a spans hook.
+//
+//monet:kernel
+func wrongGuard(ctx *execCtx, n int) {
+	for i := 0; i < n; i++ {
+		if ctx.prof != nil {
+			ctx.spans.Record(0, i, 0) // want "profiling hook"
+		}
+	}
+}
+
+// guardOutsideClosure: the engine's morsel-body idiom — a closure
+// created under the guard inherits it.
+//
+//monet:kernel
+func guardOutsideClosure(ctx *execCtx, n int) {
+	if ctx.spans != nil {
+		each(n, func(i int) {
+			ctx.spans.Record(0, i, 0)
+		})
+	}
+}
+
+// unguardedClosure: a hook inside a closure run per element of a loop
+// with no guard anywhere.
+//
+//monet:kernel
+func unguardedClosure(ctx *execCtx, n int) {
+	for i := 0; i < n; i++ {
+		func() {
+			ctx.spans.Record(0, i, 0) // want "profiling hook"
+		}()
+	}
+}
+
+// setupCost: hook calls outside any loop are per-query setup, not
+// per-tuple cost; proffree leaves them to the engine's alloc gates.
+//
+//monet:kernel
+func setupCost(ctx *execCtx) {
+	ctx.spans.Record(0, 0, 0)
+}
+
+// notKernel has no directive: free to profile however it likes.
+func notKernel(ctx *execCtx, n int) {
+	for i := 0; i < n; i++ {
+		ctx.spans.Record(0, i, 0)
+	}
+}
+
+func work(n int) int { return n * 2 }
+
+func each(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachSpanNilRecorderRunsAll(t *testing.T) {
+	var ran atomic.Int64
+	ForEachSpan(4, 100, nil, func(_, _ int) { ran.Add(1) })
+	if ran.Load() != 100 {
+		t.Fatalf("nil-recorder ForEachSpan ran %d units, want 100", ran.Load())
+	}
+}
+
+func TestSpanRecorderCapturesEveryUnit(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rec := NewSpanRecorder(workers)
+		rec.SetTag(7)
+		ForEachSpan(workers, 33, rec, func(_, _ int) {})
+		rec.SetTag(9)
+		ForEachSpan(workers, 5, rec, func(_, _ int) {})
+		spans := rec.Spans()
+		if len(spans) != 38 {
+			t.Fatalf("workers=%d: got %d spans, want 38", workers, len(spans))
+		}
+		seen := map[int32]map[int32]bool{7: {}, 9: {}}
+		for _, s := range spans {
+			units, ok := seen[s.Tag]
+			if !ok {
+				t.Fatalf("workers=%d: unexpected tag %d", workers, s.Tag)
+			}
+			if units[s.Unit] {
+				t.Fatalf("workers=%d: unit %d recorded twice under tag %d", workers, s.Unit, s.Tag)
+			}
+			units[s.Unit] = true
+			if s.Worker < 0 || int(s.Worker) >= workers {
+				t.Fatalf("workers=%d: span worker %d out of range", workers, s.Worker)
+			}
+			if s.Start < 0 || s.Dur < 0 {
+				t.Fatalf("workers=%d: negative span time %+v", workers, s)
+			}
+		}
+		if len(seen[7]) != 33 || len(seen[9]) != 5 {
+			t.Fatalf("workers=%d: tag units = %d/%d, want 33/5", workers, len(seen[7]), len(seen[9]))
+		}
+	}
+}
+
+func TestSpanRecorderSpansSorted(t *testing.T) {
+	rec := NewSpanRecorder(4)
+	ForEachSpan(4, 64, rec, func(_, _ int) {})
+	spans := rec.Spans()
+	for i := 1; i < len(spans); i++ {
+		a, b := spans[i-1], spans[i]
+		if a.Start > b.Start {
+			t.Fatalf("spans out of order at %d: %d after %d", i, b.Start, a.Start)
+		}
+	}
+}
+
+func TestSpanRecorderOutOfRangeWorkerIgnored(t *testing.T) {
+	rec := NewSpanRecorder(2)
+	rec.Record(5, 0, 0) // must not panic or record
+	rec.Record(-1, 0, 0)
+	if got := len(rec.Spans()); got != 0 {
+		t.Fatalf("out-of-range Record captured %d spans, want 0", got)
+	}
+}

@@ -1,0 +1,177 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Residuals accumulates predicted-vs-actual cost ratios per operator
+// kind across profiled query runs — the calibration feed for a
+// self-tuning cost model. Each observation pairs one operator's
+// predicted milliseconds (from the paper's formulas) with its measured
+// wall-clock milliseconds; the accumulator keeps enough sufficient
+// statistics per kind to report the geometric-mean error factor
+// (actual/predicted) and its spread, which is what a recalibration
+// pass would scale the per-kind formulas by.
+//
+// Not safe for concurrent use; profiled runs feed it serially.
+type Residuals struct {
+	// Machine names the profile the predictions were computed for —
+	// residuals from different machines must not be merged.
+	Machine string
+	kinds   map[string]*KindResidual
+}
+
+// KindResidual is the accumulated evidence for one operator kind.
+type KindResidual struct {
+	Kind        string  `json:"kind"`
+	Count       int64   `json:"count"`
+	PredictedMS float64 `json:"predicted_ms"` // summed predictions
+	ActualMS    float64 `json:"actual_ms"`    // summed measurements
+	LogRatioSum float64 `json:"log_ratio_sum"`
+	MinRatio    float64 `json:"min_ratio"`
+	MaxRatio    float64 `json:"max_ratio"`
+}
+
+// GeoMeanRatio returns the geometric mean of actual/predicted for this
+// kind — the multiplicative factor the model is off by (1 = calibrated,
+// >1 = model too optimistic, <1 = too pessimistic).
+func (k *KindResidual) GeoMeanRatio() float64 {
+	if k.Count == 0 {
+		return 1
+	}
+	return math.Exp(k.LogRatioSum / float64(k.Count))
+}
+
+// NewResiduals returns an empty accumulator for one machine profile.
+func NewResiduals(machine string) *Residuals {
+	return &Residuals{Machine: machine, kinds: map[string]*KindResidual{}}
+}
+
+// Observe records one operator execution: its kind, the cost model's
+// predicted milliseconds and the measured milliseconds. Observations
+// with a non-positive prediction or measurement carry no ratio
+// information and are ignored.
+func (r *Residuals) Observe(kind string, predictedMS, actualMS float64) {
+	if predictedMS <= 0 || actualMS <= 0 || kind == "" {
+		return
+	}
+	if r.kinds == nil {
+		r.kinds = map[string]*KindResidual{}
+	}
+	k, ok := r.kinds[kind]
+	if !ok {
+		k = &KindResidual{Kind: kind, MinRatio: math.Inf(1), MaxRatio: math.Inf(-1)}
+		r.kinds[kind] = k
+	}
+	ratio := actualMS / predictedMS
+	k.Count++
+	k.PredictedMS += predictedMS
+	k.ActualMS += actualMS
+	k.LogRatioSum += math.Log(ratio)
+	if ratio < k.MinRatio {
+		k.MinRatio = ratio
+	}
+	if ratio > k.MaxRatio {
+		k.MaxRatio = ratio
+	}
+}
+
+// Kind returns the accumulated residual for one kind, or nil.
+func (r *Residuals) Kind(kind string) *KindResidual {
+	if r.kinds == nil {
+		return nil
+	}
+	return r.kinds[kind]
+}
+
+// Kinds returns every accumulated kind, sorted by name — the one
+// iteration order, so serialized calibration files are deterministic.
+func (r *Residuals) Kinds() []*KindResidual {
+	out := make([]*KindResidual, 0, len(r.kinds))
+	for _, k := range r.kinds {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// Merge folds another accumulator's evidence into r. Machines must
+// match (or either may be empty, adopting the other's).
+func (r *Residuals) Merge(o *Residuals) error {
+	if o == nil {
+		return nil
+	}
+	if r.Machine == "" {
+		r.Machine = o.Machine
+	}
+	if o.Machine != "" && o.Machine != r.Machine {
+		return fmt.Errorf("costmodel: cannot merge residuals for %q into %q", o.Machine, r.Machine)
+	}
+	if r.kinds == nil {
+		r.kinds = map[string]*KindResidual{}
+	}
+	for _, ok := range o.Kinds() {
+		k, found := r.kinds[ok.Kind]
+		if !found {
+			cp := *ok
+			r.kinds[ok.Kind] = &cp
+			continue
+		}
+		k.Count += ok.Count
+		k.PredictedMS += ok.PredictedMS
+		k.ActualMS += ok.ActualMS
+		k.LogRatioSum += ok.LogRatioSum
+		if ok.MinRatio < k.MinRatio {
+			k.MinRatio = ok.MinRatio
+		}
+		if ok.MaxRatio > k.MaxRatio {
+			k.MaxRatio = ok.MaxRatio
+		}
+	}
+	return nil
+}
+
+// residualsFile is the serialized calibration-file layout: kinds as a
+// sorted array (stable bytes), with the derived geometric-mean ratio
+// denormalized in for human readers and downstream consumers that do
+// not want to recompute it.
+type residualsFile struct {
+	Machine string              `json:"machine"`
+	Kinds   []kindResidualEntry `json:"kinds"`
+}
+
+type kindResidualEntry struct {
+	KindResidual
+	GeoMeanRatio float64 `json:"geomean_ratio"`
+}
+
+// MarshalJSON serializes the accumulator deterministically (kinds
+// sorted by name).
+func (r *Residuals) MarshalJSON() ([]byte, error) {
+	f := residualsFile{Machine: r.Machine, Kinds: []kindResidualEntry{}}
+	for _, k := range r.Kinds() {
+		f.Kinds = append(f.Kinds, kindResidualEntry{KindResidual: *k, GeoMeanRatio: k.GeoMeanRatio()})
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON loads a serialized calibration file.
+func (r *Residuals) UnmarshalJSON(data []byte) error {
+	var f residualsFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	r.Machine = f.Machine
+	r.kinds = map[string]*KindResidual{}
+	for i := range f.Kinds {
+		k := f.Kinds[i].KindResidual
+		if k.Kind == "" {
+			return fmt.Errorf("costmodel: residuals entry %d has no kind", i)
+		}
+		r.kinds[k.Kind] = &k
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package costmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestResidualsObserveAndGeoMean(t *testing.T) {
+	r := NewResiduals("origin2k")
+	// Two observations off by 2x and 8x: geometric mean 4x.
+	r.Observe("Select[scan]", 10, 20)
+	r.Observe("Select[scan]", 10, 80)
+	k := r.Kind("Select[scan]")
+	if k == nil {
+		t.Fatal("kind not accumulated")
+	}
+	if k.Count != 2 || k.PredictedMS != 20 || k.ActualMS != 100 {
+		t.Fatalf("sums: count=%d pred=%v actual=%v", k.Count, k.PredictedMS, k.ActualMS)
+	}
+	if got := k.GeoMeanRatio(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean ratio = %v, want 4", got)
+	}
+	if k.MinRatio != 2 || k.MaxRatio != 8 {
+		t.Fatalf("min/max ratio = %v/%v, want 2/8", k.MinRatio, k.MaxRatio)
+	}
+}
+
+func TestResidualsIgnoresNonPositive(t *testing.T) {
+	r := NewResiduals("m")
+	r.Observe("x", 0, 5)
+	r.Observe("x", 5, 0)
+	r.Observe("x", -1, 5)
+	r.Observe("", 5, 5)
+	if len(r.Kinds()) != 0 {
+		t.Fatalf("degenerate observations accumulated: %v", r.Kinds())
+	}
+}
+
+func TestResidualsJSONRoundTripDeterministic(t *testing.T) {
+	r := NewResiduals("origin2k")
+	r.Observe("GroupAggregate[radix]", 5, 50)
+	r.Observe("Select[scan]", 10, 20)
+	r.Observe("Join[phash]", 3, 9)
+	b1, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b2, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("serialization not deterministic:\n%s\n%s", b1, b2)
+		}
+	}
+	var back Residuals
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Machine != "origin2k" {
+		t.Fatalf("machine = %q", back.Machine)
+	}
+	b3, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Fatalf("round trip changed bytes:\n%s\n%s", b1, b3)
+	}
+}
+
+func TestResidualsMerge(t *testing.T) {
+	a := NewResiduals("m")
+	a.Observe("Select[scan]", 10, 20)
+	b := NewResiduals("m")
+	b.Observe("Select[scan]", 10, 80)
+	b.Observe("OrderBy", 1, 3)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	k := a.Kind("Select[scan]")
+	if k.Count != 2 || math.Abs(k.GeoMeanRatio()-4) > 1e-9 {
+		t.Fatalf("merged: count=%d geomean=%v", k.Count, k.GeoMeanRatio())
+	}
+	if a.Kind("OrderBy") == nil {
+		t.Fatal("merge dropped new kind")
+	}
+	other := NewResiduals("different")
+	if err := a.Merge(other); err == nil {
+		// empty accumulator for another machine: nothing to merge but
+		// the mismatch must still be refused.
+		t.Fatal("cross-machine merge not refused")
+	}
+}

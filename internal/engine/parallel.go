@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"monetlite/internal/agg"
 	"monetlite/internal/core"
 )
@@ -46,9 +48,19 @@ func planPar(cfg Config, rows float64) int {
 }
 
 // forMorsels runs body(m, lo, hi) for every morsel of an n-row input
-// on the worker pool. body must write only morsel-m-local state.
+// on the worker pool. body must write only morsel-m-local state. A
+// profiled run (ctx.spans != nil) records one span per morsel; the
+// decomposition and any merge order the caller builds from it are
+// identical either way.
 func (ctx *execCtx) forMorsels(n int, body func(m, lo, hi int)) {
-	core.ForMorsels(ctx.par(n), n, body)
+	if ctx.spans == nil {
+		core.ForMorsels(ctx.par(n), n, body)
+		return
+	}
+	core.ForEachSpan(ctx.par(n), core.MorselsOf(n), ctx.spans, func(_, m int) {
+		lo, hi := core.MorselBounds(m, n)
+		body(m, lo, hi)
+	})
 }
 
 // forMorselsErr is forMorsels for fallible bodies: every morsel runs,
@@ -56,7 +68,7 @@ func (ctx *execCtx) forMorsels(n int, body func(m, lo, hi int)) {
 // regardless of scheduling).
 func (ctx *execCtx) forMorselsErr(n int, body func(m, lo, hi int) error) error {
 	nm := core.MorselsOf(n)
-	if ctx.par(n) <= 1 {
+	if ctx.par(n) <= 1 && ctx.spans == nil {
 		// Inline fast path: stop at the first error like a plain loop.
 		for m := 0; m < nm; m++ {
 			lo, hi := core.MorselBounds(m, n)
@@ -67,7 +79,8 @@ func (ctx *execCtx) forMorselsErr(n int, body func(m, lo, hi int) error) error {
 		return nil
 	}
 	errs := make([]error, nm)
-	core.ForMorsels(ctx.par(n), n, func(m, lo, hi int) {
+	core.ForEachSpan(ctx.par(n), nm, ctx.spans, func(_, m int) {
+		lo, hi := core.MorselBounds(m, n)
 		errs[m] = body(m, lo, hi)
 	})
 	for _, err := range errs {
@@ -142,7 +155,21 @@ func prefixSum(counts []int) (starts []int, total int) {
 // task ranges are contiguous, so concatenating task results in task
 // order is concatenating partitions in partition order.
 func radixGroupNative(ctx *execCtx, keys []int64, vals []float64, bits, passes int) (*agg.GroupResult, error) {
+	var clPh *OpStats
+	if ctx.prof != nil {
+		clPh = ctx.prof.beginPhase("cluster[radix]", fmt.Sprintf("bits=%d passes=%d", bits, passes))
+	}
 	ck, cv, offs, err := core.RadixClusterKV(keys, vals, bits, passes, ctx.opt)
+	if clPh != nil {
+		// Every pass reads and rewrites the 16-byte (key, value) pairs —
+		// the §3.4.2 cluster-pass traffic, at actual cardinality.
+		moved := int64(len(keys)) * 16 * int64(passes)
+		parts := int64(0)
+		if err == nil {
+			parts = int64(len(offs) - 1)
+		}
+		ctx.prof.endPhase(clPh, parts, moved, moved)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -155,9 +182,13 @@ func radixGroupNative(ctx *execCtx, keys []int64, vals []float64, bits, passes i
 		workers = 1
 	}
 	tasks := aggPartitionTasks(offs, workers)
+	var agPh *OpStats
+	if ctx.prof != nil {
+		agPh = ctx.prof.beginPhase("aggregate[partitions]", fmt.Sprintf("%d partitions, %d tasks", nparts, len(tasks)))
+	}
 	results := make([]agg.GroupResult, len(tasks))
 	aggs := make([]agg.PartitionAggregator, workers)
-	core.ForEach(workers, len(tasks), func(w, t int) {
+	core.ForEachSpan(workers, len(tasks), ctx.spans, func(w, t int) {
 		lo, hi := tasks[t][0], tasks[t][1]
 		res := &results[t]
 		// At worst every tuple of the range is its own group.
@@ -170,6 +201,9 @@ func radixGroupNative(ctx *execCtx, keys []int64, vals []float64, bits, passes i
 	total := 0
 	for t := range results {
 		total += results[t].Groups()
+	}
+	if agPh != nil {
+		ctx.prof.endPhase(agPh, int64(total), int64(len(ck))*16, int64(total)*40)
 	}
 	if len(tasks) == 1 {
 		return &results[0], nil

@@ -126,6 +126,14 @@ type execCtx struct {
 	machine memsim.Machine
 	opt     core.Options
 	arenas  []*pipeArena // per-worker pipeline scratch, reused across morsels
+
+	// Profiling hooks, both nil unless the run was started by
+	// RunProfiled: prof collects the per-operator stats tree, spans
+	// records per-worker work-unit spans. Every touch is guarded by a
+	// nil check so the disabled path stays the exact pre-profiling
+	// code (zero extra allocations).
+	prof  *Profile
+	spans *core.SpanRecorder
 }
 
 // physOp is one physical operator of a lowered plan.
@@ -171,7 +179,7 @@ type selectScanOp struct {
 }
 
 func (o *selectScanOp) exec(ctx *execCtx) (*fragment, error) {
-	in, err := o.in.exec(ctx)
+	in, err := ctx.exec(o.in)
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +231,7 @@ type selectCSSOp struct {
 }
 
 func (o *selectCSSOp) exec(ctx *execCtx) (*fragment, error) {
-	in, err := o.in.exec(ctx)
+	in, err := ctx.exec(o.in)
 	if err != nil {
 		return nil, err
 	}
@@ -347,7 +355,7 @@ type refilterOp struct {
 }
 
 func (o *refilterOp) exec(ctx *execCtx) (*fragment, error) {
-	in, err := o.in.exec(ctx)
+	in, err := ctx.exec(o.in)
 	if err != nil {
 		return nil, err
 	}
@@ -478,11 +486,11 @@ type joinOp struct {
 }
 
 func (o *joinOp) exec(ctx *execCtx) (*fragment, error) {
-	lf, err := o.left.exec(ctx)
+	lf, err := ctx.exec(o.left)
 	if err != nil {
 		return nil, err
 	}
-	rf, err := o.right.exec(ctx)
+	rf, err := ctx.exec(o.right)
 	if err != nil {
 		return nil, err
 	}
@@ -635,7 +643,7 @@ type opCol struct {
 }
 
 func (o *groupAggOp) exec(ctx *execCtx) (*fragment, error) {
-	in, err := o.in.exec(ctx)
+	in, err := ctx.exec(o.in)
 	if err != nil {
 		return nil, err
 	}
@@ -750,6 +758,10 @@ func (o *groupAggOp) group(ctx *execCtx, keys []int64, vals []float64) (*agg.Gro
 		return group(ctx.sim, dsm.ShrinkInts(keys), bat.NewF64(vals))
 	}
 	partials := make([]*agg.GroupResult, nm)
+	var paPh *OpStats
+	if ctx.prof != nil {
+		paPh = ctx.prof.beginPhase(fmt.Sprintf("partials[%s]", o.strat), fmt.Sprintf("%d morsels", nm))
+	}
 	err := ctx.forMorselsErr(n, func(m, lo, hi int) error {
 		p, err := group(nil, dsm.ShrinkInts(keys[lo:hi]), bat.NewF64(vals[lo:hi]))
 		if err != nil {
@@ -758,10 +770,27 @@ func (o *groupAggOp) group(ctx *execCtx, keys []int64, vals []float64) (*agg.Gro
 		partials[m] = p
 		return nil
 	})
+	partialGroups := int64(0)
+	if paPh != nil {
+		for _, p := range partials {
+			if p != nil {
+				partialGroups += int64(p.Groups())
+			}
+		}
+		ctx.prof.endPhase(paPh, partialGroups, int64(n)*16, partialGroups*40)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return mergeGroupPartials(partials), nil
+	var mePh *OpStats
+	if ctx.prof != nil {
+		mePh = ctx.prof.beginPhase("merge", fmt.Sprintf("%d partials", nm))
+	}
+	res := mergeGroupPartials(partials)
+	if mePh != nil {
+		ctx.prof.endPhase(mePh, int64(res.Groups()), partialGroups*40, int64(res.Groups())*40)
+	}
+	return res, nil
 }
 
 func (o *groupAggOp) label() string {
@@ -802,7 +831,7 @@ type projCol struct {
 }
 
 func (o *projectOp) exec(ctx *execCtx) (*fragment, error) {
-	in, err := o.in.exec(ctx)
+	in, err := ctx.exec(o.in)
 	if err != nil {
 		return nil, err
 	}
@@ -909,7 +938,7 @@ type orderByOp struct {
 }
 
 func (o *orderByOp) exec(ctx *execCtx) (*fragment, error) {
-	in, err := o.in.exec(ctx)
+	in, err := ctx.exec(o.in)
 	if err != nil {
 		return nil, err
 	}
@@ -1083,7 +1112,7 @@ type limitOp struct {
 // chain short-circuits earlier still: the pipeline stops consuming
 // morsels once the prefix has produced n rows.)
 func (o *limitOp) exec(ctx *execCtx) (*fragment, error) {
-	in, err := o.in.exec(ctx)
+	in, err := ctx.exec(o.in)
 	if err != nil {
 		return nil, err
 	}

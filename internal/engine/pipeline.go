@@ -506,6 +506,12 @@ type pipeChunk struct {
 	rows int
 	done bool
 	err  error
+
+	// Profiling-only per-stage counters (nil when disabled — the hot
+	// loop pays one nil check per vector): scanned base rows and the
+	// survivor count after each filter stage.
+	scanned   int
+	stageRows []int64
 }
 
 func (o *pipelineOp) exec(ctx *execCtx) (*fragment, error) {
@@ -513,7 +519,7 @@ func (o *pipelineOp) exec(ctx *execCtx) (*fragment, error) {
 		// The instrumented path models a single 1999 CPU and must stay
 		// exactly the serial materializing execution the paper's cost
 		// formulas describe.
-		return o.legacy.exec(ctx)
+		return ctx.exec(o.legacy)
 	}
 	rf, err := o.resolveFilters()
 	if err != nil {
@@ -521,10 +527,78 @@ func (o *pipelineOp) exec(ctx *execCtx) (*fragment, error) {
 	}
 	n := o.t.N
 	chunks := make([]pipeChunk, core.MorselsOf(n))
+	if ctx.prof != nil {
+		for m := range chunks {
+			chunks[m].stageRows = make([]int64, len(rf))
+		}
+	}
 	if err := o.run(ctx, rf, chunks); err != nil {
 		return nil, err
 	}
+	if ctx.prof != nil {
+		o.recordStages(ctx.prof, chunks)
+	}
 	return o.assemble(ctx, chunks)
+}
+
+// recordStages summarizes the fused stages as profile nodes: rows in
+// and out per stage (from the profiling counters the morsel loop kept)
+// and each stage's would-be traffic in cost-model width units. Stages
+// carry no own wall time — they interleave per vector inside the
+// pipeline's time.
+func (o *pipelineOp) recordStages(prof *Profile, chunks []pipeChunk) {
+	scanned := int64(0)
+	stage := make([]int64, len(o.filters))
+	fed := int64(0)
+	for m := range chunks {
+		scanned += int64(chunks[m].scanned)
+		for i, r := range chunks[m].stageRows {
+			stage[i] += r
+		}
+		fed += int64(chunks[m].rows)
+	}
+	prof.addStage("Scan", fmt.Sprintf("%s (%d rows)", o.t.Schema.Name, o.t.N),
+		int64(o.t.N), scanned, 0, 0)
+	in := scanned
+	for i, f := range o.filters {
+		label := "Select[refilter]"
+		read := in * int64(f.col.Width())
+		if f.base {
+			label = "Select[scan]"
+			read = scanned * int64(f.col.Width())
+		}
+		prof.addStage(label, fmt.Sprint(f.pred), in, stage[i], read, stage[i]*4)
+		in = stage[i]
+	}
+	switch {
+	case o.proj != nil:
+		var read, written int64
+		for _, pc := range o.proj.cols {
+			w := int64(pc.col.Width())
+			read += fed * w
+			if w < 8 {
+				w = 8
+			}
+			written += fed * w
+		}
+		prof.addStage("Project", o.proj.detail(), in, fed, read, written)
+	case o.gagg != nil:
+		w := int64(o.gagg.keyCol.Width())
+		for _, oc := range o.gagg.operands {
+			w += int64(oc.col.Width())
+		}
+		prof.addStage(fmt.Sprintf("AggFeed[%s]", o.gagg.strat), o.gagg.detail(),
+			in, fed, fed*w, fed*16)
+	default:
+		prof.addStage("OIDs", "", in, fed, 0, fed*4)
+	}
+	if o.limitN >= 0 {
+		out := fed
+		if int64(o.limitN) < out {
+			out = int64(o.limitN)
+		}
+		prof.addStage("Limit", fmt.Sprintf("%d", o.limitN), fed, out, 0, 0)
+	}
 }
 
 // run drains the morsels over the worker pool. With a Limit probe the
@@ -539,7 +613,14 @@ func (o *pipelineOp) run(ctx *execCtx, rf []resolvedFilter, chunks []pipeChunk) 
 		produced := 0
 		for m := 0; m < nm; m++ {
 			lo, hi := core.MorselBounds(m, n)
+			var start int64
+			if ctx.spans != nil {
+				start = ctx.spans.Clock()
+			}
 			o.runMorsel(ctx.arena(0), rf, lo, hi, &chunks[m])
+			if ctx.spans != nil {
+				ctx.spans.Record(0, m, start)
+			}
 			if chunks[m].err != nil {
 				return chunks[m].err
 			}
@@ -552,7 +633,7 @@ func (o *pipelineOp) run(ctx *execCtx, rf []resolvedFilter, chunks []pipeChunk) 
 		return nil
 	}
 	if o.limitN < 0 {
-		core.ForEach(workers, nm, func(w, m int) {
+		core.ForEachSpan(workers, nm, ctx.spans, func(w, m int) {
 			lo, hi := core.MorselBounds(m, n)
 			o.runMorsel(ctx.arena(w), rf, lo, hi, &chunks[m])
 			chunks[m].done = true
@@ -593,7 +674,14 @@ func (o *pipelineOp) runLimited(ctx *execCtx, rf []resolvedFilter, chunks []pipe
 					return
 				}
 				lo, hi := core.MorselBounds(m, n)
+				var start int64
+				if ctx.spans != nil {
+					start = ctx.spans.Clock()
+				}
 				o.runMorsel(a, rf, lo, hi, &chunks[m])
+				if ctx.spans != nil {
+					ctx.spans.Record(w, m, start)
+				}
 				mu.Lock()
 				chunks[m].done = true
 				for frontier < nm && chunks[frontier].done {
@@ -627,11 +715,19 @@ func (o *pipelineOp) runMorsel(a *pipeArena, rf []resolvedFilter, lo, hi int, ch
 		if vhi > hi {
 			vhi = hi
 		}
+		if ch.stageRows != nil {
+			ch.scanned += vhi - vlo
+		}
 		pos := a.pos[:0]
 		rest := rf
+		fi := 0
 		if len(rf) > 0 && rf[0].base {
 			pos = rf[0].selectInto(vlo, vhi, pos)
 			rest = rf[1:]
+			fi = 1
+			if ch.stageRows != nil {
+				ch.stageRows[0] += int64(len(pos))
+			}
 		} else {
 			for i := vlo; i < vhi; i++ {
 				pos = append(pos, int32(i))
@@ -642,6 +738,9 @@ func (o *pipelineOp) runMorsel(a *pipeArena, rf []resolvedFilter, lo, hi int, ch
 				break
 			}
 			pos = rest[i].filterInPlace(pos)
+			if ch.stageRows != nil {
+				ch.stageRows[fi+i] += int64(len(pos))
+			}
 		}
 		if len(pos) == 0 {
 			continue

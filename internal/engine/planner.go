@@ -118,13 +118,35 @@ func (p *PhysicalPlan) Machine() memsim.Machine { return p.cfg.Machine }
 // strictly serial materializing path — predicted vs simulated cost,
 // side by side.
 func (p *PhysicalPlan) Run(sim *memsim.Sim) (*Result, error) {
+	return p.run(sim, false)
+}
+
+// RunProfiled executes the plan exactly like Run — same operators, same
+// morsel decomposition, byte-identical result — while collecting a
+// per-operator execution profile (EXPLAIN ANALYZE). Profiling is
+// observation-only: it reads clocks and counters around operator
+// boundaries and never influences scheduling or merge order.
+func (p *PhysicalPlan) RunProfiled(sim *memsim.Sim) (*Result, error) {
+	return p.run(sim, true)
+}
+
+func (p *PhysicalPlan) run(sim *memsim.Sim, profile bool) (*Result, error) {
 	ctx := &execCtx{sim: sim, machine: p.cfg.Machine, opt: p.cfg.Opt}
 	if sim != nil {
 		ctx.opt = core.Serial()
 	} else {
 		ctx.arenas = make([]*pipeArena, ctx.opt.Workers())
 	}
-	frag, err := p.root.exec(ctx)
+	var prof *Profile
+	if profile {
+		workers := 1
+		if sim == nil {
+			workers = ctx.opt.Workers()
+		}
+		prof = newProfile(p.cfg.Machine, workers)
+		ctx.prof, ctx.spans = prof, prof.rec
+	}
+	frag, err := ctx.exec(p.root)
 	if err != nil {
 		return nil, err
 	}
@@ -135,13 +157,33 @@ func (p *PhysicalPlan) Run(sim *memsim.Sim) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		var ph *OpStats
+		if prof != nil {
+			ph = prof.beginPhase("Reconstruct[default]", fmt.Sprintf("%d columns", len(cols)))
+		}
 		rel, err := materializeColumns(ctx, frag, cols)
 		if err != nil {
 			return nil, err
 		}
+		if ph != nil {
+			var written int64
+			for _, pc := range cols {
+				w := int64(pc.col.Width())
+				if w < 8 {
+					w = 8
+				}
+				written += int64(rel.N) * w
+			}
+			prof.endPhase(ph, int64(rel.N), 0, written)
+		}
 		frag = &fragment{rel: rel}
 	}
-	return &Result{Rel: frag.rel}, nil
+	res := &Result{Rel: frag.rel}
+	if prof != nil {
+		prof.finish()
+		res.Profile = prof
+	}
+	return res, nil
 }
 
 // defaultProjection lists every column of every binding, qualifying

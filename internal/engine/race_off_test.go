@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine
+
+// raceEnabled reports whether the race detector instruments this
+// test binary (allocation-measurement tests skip under it).
+const raceEnabled = false

@@ -13,6 +13,9 @@ var emptyBreakdown costmodel.Breakdown
 // Result is a fully materialized query result.
 type Result struct {
 	Rel *Rel
+	// Profile holds the per-operator execution profile when the plan
+	// ran via RunProfiled (EXPLAIN ANALYZE); nil otherwise.
+	Profile *Profile
 }
 
 // N returns the number of result rows.

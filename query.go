@@ -69,6 +69,7 @@ type QueryBuilder struct {
 	hasMach bool
 	noPipe  bool
 	aggStr  string
+	analyze bool
 }
 
 // Query starts a plan with a scan of a decomposed table.
@@ -119,6 +120,19 @@ func (q *QueryBuilder) Pipeline(on bool) *QueryBuilder {
 // runs; only the memory-access pattern differs.
 func (q *QueryBuilder) GroupStrategy(s string) *QueryBuilder {
 	q.aggStr = s
+	return q
+}
+
+// Analyze toggles EXPLAIN ANALYZE profiling for Run (default off):
+// when on, the returned QueryResult carries a per-operator execution
+// profile — actual wall time, rows in/out, cost-model-unit memory
+// traffic, allocations, morsel counts and per-worker busy time — in
+// Result.Profile, renderable via Profile.String() or exportable as a
+// Chrome trace. Profiling is observation-only: results stay
+// byte-identical with it on or off, at any worker count. When off, the
+// engine pays no profiling cost at all (nil-check hooks only).
+func (q *QueryBuilder) Analyze(on bool) *QueryBuilder {
+	q.analyze = on
 	return q
 }
 
@@ -195,11 +209,15 @@ func (q *QueryBuilder) Explain() (string, error) {
 }
 
 // Run plans and executes the query natively (morsel-driven parallel
-// operators; see Parallel).
+// operators; see Parallel). With Analyze(true) the result carries an
+// execution profile in Result.Profile.
 func (q *QueryBuilder) Run() (*QueryResult, error) {
 	p, err := q.Plan()
 	if err != nil {
 		return nil, err
+	}
+	if q.analyze {
+		return p.RunProfiled(nil)
 	}
 	return p.Run(nil)
 }
