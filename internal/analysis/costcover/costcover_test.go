@@ -1,0 +1,12 @@
+package costcover_test
+
+import (
+	"testing"
+
+	"monetlite/internal/analysis/costcover"
+	"monetlite/internal/analysis/framework/analysistest"
+)
+
+func TestCostcover(t *testing.T) {
+	analysistest.Run(t, costcover.Analyzer, "engine")
+}

@@ -1,0 +1,9 @@
+// Stub of the real costmodel package: costcover recognizes Breakdown
+// by package name and type name only.
+package costmodel
+
+// Breakdown mirrors the real per-operator cost prediction.
+type Breakdown struct {
+	Millis float64
+	Bytes  int64
+}

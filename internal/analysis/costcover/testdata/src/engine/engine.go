@@ -1,0 +1,105 @@
+// Fixture for costcover: operator/cost/profiler lockstep in an
+// engine-shaped package (declares physOp and opTraffic).
+package engine
+
+import "costmodel"
+
+type physOp interface {
+	label() string
+	predicted() costmodel.Breakdown
+}
+
+// goodOp is fully wired: opTraffic case, costed, stable label.
+type goodOp struct {
+	cost costmodel.Breakdown
+}
+
+func (o *goodOp) label() string                  { return "Good[scan]" }
+func (o *goodOp) predicted() costmodel.Breakdown { return o.cost }
+
+// missingOp implements physOp but opTraffic does not know it.
+type missingOp struct { // want "operator missingOp implements physOp but has no case in opTraffic"
+	n int
+}
+
+func (o *missingOp) label() string                  { return "Missing" }
+func (o *missingOp) predicted() costmodel.Breakdown { return costmodel.Breakdown{} }
+
+// uncostedOp carries a cost field that nothing in the package sets.
+type uncostedOp struct { // want "operator uncostedOp has a cost costmodel.Breakdown field that nothing in the package sets"
+	cost costmodel.Breakdown
+}
+
+func (o *uncostedOp) label() string                  { return "Uncosted" }
+func (o *uncostedOp) predicted() costmodel.Breakdown { return o.cost }
+
+// dynlabelOp is calibratable but its label is purely dynamic: the
+// residual feed would see unbounded keys.
+type dynlabelOp struct {
+	inner physOp
+	cost  costmodel.Breakdown
+}
+
+func (o *dynlabelOp) label() string { // want "operator dynlabelOp feeds the calibration residuals"
+	return o.inner.label()
+}
+func (o *dynlabelOp) predicted() costmodel.Breakdown { return o.cost }
+
+// zeroPredOp never feeds calibration (predicted returns the zero
+// literal), so its dynamic label is fine.
+type zeroPredOp struct {
+	inner physOp
+}
+
+func (o *zeroPredOp) label() string                  { return o.inner.label() }
+func (o *zeroPredOp) predicted() costmodel.Breakdown { return costmodel.Breakdown{} }
+
+// partsLabelOp builds its label dynamically but anchors it with a
+// literal operator name, like the real pipelineOp.
+type partsLabelOp struct {
+	extra string
+	cost  costmodel.Breakdown
+}
+
+func (o *partsLabelOp) label() string {
+	s := "Parts"
+	s += "[" + o.extra + "]"
+	return s
+}
+func (o *partsLabelOp) predicted() costmodel.Breakdown { return o.cost }
+
+// adapterOp mirrors the real pipeStageOp: an explain-only wrapper that
+// never executes, documented via suppression.
+type adapterOp struct { //monet:allow costcover explain-only adapter, never executed by the vector loop
+	inner physOp
+}
+
+func (o *adapterOp) label() string                  { return o.inner.label() }
+func (o *adapterOp) predicted() costmodel.Breakdown { return costmodel.Breakdown{} }
+
+func buildGood(extra string) physOp {
+	g := &goodOp{cost: costmodel.Breakdown{Millis: 1}}
+	d := &dynlabelOp{inner: g}
+	d.cost = g.cost
+	p := &partsLabelOp{extra: extra}
+	p.cost = g.cost
+	return d
+}
+
+func opTraffic(op physOp) int64 {
+	switch o := op.(type) {
+	case *goodOp:
+		return o.cost.Bytes
+	case *uncostedOp:
+		return o.cost.Bytes
+	case *dynlabelOp:
+		return opTraffic(o.inner)
+	case *zeroPredOp:
+		return opTraffic(o.inner)
+	case *partsLabelOp:
+		return 0
+	case *adapterOp:
+		return opTraffic(o.inner)
+	}
+	return 0
+}

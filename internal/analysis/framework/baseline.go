@@ -1,0 +1,118 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is one diagnostic in machine-readable form, as emitted by
+// `monetvet -json` and stored in a committed baseline file.
+//
+// Baseline matching deliberately ignores Line and Col: a refactor that
+// moves an accepted finding up or down a file is not a new finding.
+// The key is (File, Analyzer, Message), consumed as a multiset so a
+// second *instance* of an accepted finding still fails the build.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// baselineFile is the on-disk schema of .monetvet-baseline.json.
+type baselineFile struct {
+	// Comment documents the suppression workflow inside the committed
+	// artifact itself, where the person editing it is looking.
+	Comment  string    `json:"_comment,omitempty"`
+	Findings []Finding `json:"findings"`
+}
+
+const baselineComment = "Accepted monetvet findings. Prefer fixing or a //monet:allow <analyzer> <why> annotation; baseline only findings that cannot carry an annotation. Regenerate with: monetvet -write-baseline -baseline .monetvet-baseline.json ./..."
+
+func baselineKey(f Finding) string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error, so fresh checkouts and new analyzers work
+// without ceremony.
+func LoadBaseline(path string) ([]Finding, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return bf.Findings, nil
+}
+
+// WriteBaseline writes findings as a baseline file, sorted for stable
+// diffs.
+func WriteBaseline(path string, findings []Finding) error {
+	sorted := append([]Finding{}, findings...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(baselineFile{Comment: baselineComment, Findings: sorted}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FilterBaseline returns the findings not covered by the baseline.
+// Each baseline entry absorbs exactly one matching finding (multiset
+// semantics), in source order.
+func FilterBaseline(findings, baseline []Finding) []Finding {
+	budget := make(map[string]int, len(baseline))
+	for _, f := range baseline {
+		budget[baselineKey(f)]++
+	}
+	var fresh []Finding
+	for _, f := range findings {
+		k := baselineKey(f)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh
+}
+
+// relFile rewrites an absolute position file to be relative to the
+// working directory when possible, so baselines are stable across
+// checkouts.
+func relFile(file string) string {
+	if !filepath.IsAbs(file) {
+		return file
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return file
+	}
+	rel, err := filepath.Rel(wd, file)
+	if err != nil || rel == file || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator) {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}

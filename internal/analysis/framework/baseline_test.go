@@ -1,0 +1,63 @@
+package framework
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{File: "internal/engine/planner.go", Line: 42, Col: 3, Analyzer: "morselrace", Message: "write to captured total"},
+		{File: "internal/core/parallel.go", Line: 7, Col: 1, Analyzer: "kernalloc", Message: "kernel loop calls newBuf"},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, findings); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("loaded %d findings, want 2", len(loaded))
+	}
+	// WriteBaseline sorts; the parallel.go finding comes first.
+	if loaded[0].File != "internal/core/parallel.go" || loaded[0].Analyzer != "kernalloc" {
+		t.Fatalf("unexpected first finding: %+v", loaded[0])
+	}
+}
+
+func TestLoadBaselineMissingFile(t *testing.T) {
+	got, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || got != nil {
+		t.Fatalf("missing baseline should be empty, got %v, %v", got, err)
+	}
+}
+
+func TestFilterBaselineIgnoresLines(t *testing.T) {
+	baseline := []Finding{{File: "a.go", Line: 10, Analyzer: "morselrace", Message: "m"}}
+	moved := []Finding{{File: "a.go", Line: 99, Analyzer: "morselrace", Message: "m"}}
+	if fresh := FilterBaseline(moved, baseline); len(fresh) != 0 {
+		t.Fatalf("moved finding should be absorbed, got %+v", fresh)
+	}
+}
+
+func TestFilterBaselineMultiset(t *testing.T) {
+	baseline := []Finding{{File: "a.go", Analyzer: "kernalloc", Message: "m"}}
+	twice := []Finding{
+		{File: "a.go", Line: 1, Analyzer: "kernalloc", Message: "m"},
+		{File: "a.go", Line: 2, Analyzer: "kernalloc", Message: "m"},
+	}
+	fresh := FilterBaseline(twice, baseline)
+	if len(fresh) != 1 || fresh[0].Line != 2 {
+		t.Fatalf("one instance should survive the single baseline entry, got %+v", fresh)
+	}
+}
+
+func TestFilterBaselineNewAnalyzer(t *testing.T) {
+	baseline := []Finding{{File: "a.go", Analyzer: "kernalloc", Message: "m"}}
+	other := []Finding{{File: "a.go", Analyzer: "morselrace", Message: "m"}}
+	if fresh := FilterBaseline(other, baseline); len(fresh) != 1 {
+		t.Fatalf("different analyzer must not be absorbed, got %+v", fresh)
+	}
+}

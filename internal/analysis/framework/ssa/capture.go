@@ -1,0 +1,36 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FreeVars returns the variables referenced inside lit but declared
+// outside it — the closure's captures, including package-level
+// variables. Struct fields reached through a captured receiver count
+// via the receiver, not the field.
+func FreeVars(info *types.Info, lit *ast.FuncLit) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if !DeclaredWithin(v, lit) {
+			out[v] = true
+		}
+		return true
+	})
+	return out
+}
+
+// DeclaredWithin reports whether obj's declaration lies inside n's
+// source range. Package-level and imported objects are never within a
+// function literal.
+func DeclaredWithin(obj types.Object, n ast.Node) bool {
+	return obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}

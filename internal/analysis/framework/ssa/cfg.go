@@ -1,0 +1,331 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// builder constructs a Func's blocks. cur is the block under
+// construction; after a terminator (return, branch, panic) cur is
+// replaced with a fresh unreachable block so subsequent dead
+// statements still get sites without distorting the reachable graph.
+type builder struct {
+	f      *Func
+	cur    *Block
+	frames []frame           // enclosing breakable/continuable regions
+	labels map[string]*Block // goto / labeled-statement targets
+	label  string            // pending label for the next loop/switch
+}
+
+// frame is one enclosing loop, switch or select: where break and
+// continue go, and (inside a switch case) where fallthrough goes.
+type frame struct {
+	label      string
+	isLoop     bool
+	breakTo    *Block
+	continueTo *Block
+	fallTo     *Block
+}
+
+func (b *builder) newBlock(depth int) *Block {
+	blk := &Block{Index: len(b.f.Blocks), LoopDepth: depth}
+	b.f.Blocks = append(b.f.Blocks, blk)
+	return blk
+}
+
+// add appends s to the current block as an atom and registers every
+// node of its subtree at that site. Registration is last-writer-wins:
+// structured statements register their whole subtree when their
+// header atom is added, and body statements re-register themselves
+// when they are added later, so the innermost atom owns each node.
+func (b *builder) add(s ast.Stmt) {
+	site := Site{Block: b.cur, Index: len(b.cur.Stmts)}
+	b.cur.Stmts = append(b.cur.Stmts, s)
+	ast.Inspect(s, func(n ast.Node) bool {
+		if n != nil {
+			b.f.sites[n] = site
+		}
+		return true
+	})
+}
+
+// reg re-registers a subtree at an explicit site (used for loop
+// conditions and post statements, which execute per-iteration).
+func (b *builder) reg(n ast.Node, site Site) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m != nil {
+			b.f.sites[m] = site
+		}
+		return true
+	})
+}
+
+// terminate ends the current block: control has left it (return,
+// branch, panic). Statements after a terminator accumulate in a fresh
+// block with no predecessors.
+func (b *builder) terminate() {
+	b.cur = b.newBlock(b.cur.LoopDepth)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate()
+	default:
+		// Leaf statements: assign, incdec, expr, decl, send, go,
+		// defer, empty. A bare panic(...) call terminates.
+		b.add(s)
+		if isPanicStmt(s) {
+			b.terminate()
+		}
+	}
+}
+
+// takeLabel consumes the pending label set by an enclosing
+// LabeledStmt.
+func (b *builder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	b.takeLabel()
+	b.add(s) // header atom: Init + Cond (bodies re-registered below)
+	head := b.cur
+	depth := head.LoopDepth
+
+	thenB := b.newBlock(depth)
+	head.Succs = append(head.Succs, thenB)
+	b.cur = thenB
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	join := b.newBlock(depth)
+	thenEnd.Succs = append(thenEnd.Succs, join)
+	if s.Else != nil {
+		elseB := b.newBlock(depth)
+		head.Succs = append(head.Succs, elseB)
+		b.cur = elseB
+		b.stmt(s.Else)
+		b.cur.Succs = append(b.cur.Succs, join)
+	} else {
+		head.Succs = append(head.Succs, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	b.add(s) // header atom: Init + Cond + Post
+	depth := b.cur.LoopDepth
+
+	// The loop head carries depth+1: Cond and Post execute once per
+	// iteration, so nodes re-registered there count as in-loop.
+	head := b.newBlock(depth + 1)
+	b.cur.Succs = append(b.cur.Succs, head)
+	body := b.newBlock(depth + 1)
+	exit := b.newBlock(depth)
+	head.Succs = append(head.Succs, body)
+	if s.Cond != nil {
+		head.Succs = append(head.Succs, exit)
+		b.reg(s.Cond, Site{Block: head, Index: 0})
+	}
+	if s.Post != nil {
+		b.reg(s.Post, Site{Block: head, Index: 0})
+	}
+
+	b.frames = append(b.frames, frame{label: label, isLoop: true, breakTo: exit, continueTo: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.cur.Succs = append(b.cur.Succs, head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	b.add(s) // header atom: Key/Value/X
+	depth := b.cur.LoopDepth
+
+	head := b.newBlock(depth)
+	b.cur.Succs = append(b.cur.Succs, head)
+	body := b.newBlock(depth + 1)
+	exit := b.newBlock(depth)
+	head.Succs = append(head.Succs, body, exit)
+
+	b.frames = append(b.frames, frame{label: label, isLoop: true, breakTo: exit, continueTo: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.cur.Succs = append(b.cur.Succs, head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+// switchStmt handles both expression and type switches; body is the
+// case-clause list.
+func (b *builder) switchStmt(s ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	b.add(s) // header atom: Init + Tag/Assign + case expressions
+	head := b.cur
+	depth := head.LoopDepth
+	exit := b.newBlock(depth)
+
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, cc := range body.List {
+		cl := cc.(*ast.CaseClause)
+		clauses = append(clauses, cl)
+		if cl.List == nil {
+			hasDefault = true
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock(depth)
+		head.Succs = append(head.Succs, bodies[i])
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, exit)
+	}
+
+	b.frames = append(b.frames, frame{label: label, breakTo: exit})
+	for i, cl := range clauses {
+		b.frames[len(b.frames)-1].fallTo = nil
+		if i+1 < len(bodies) {
+			b.frames[len(b.frames)-1].fallTo = bodies[i+1]
+		}
+		b.cur = bodies[i]
+		b.stmtList(cl.Body)
+		b.cur.Succs = append(b.cur.Succs, exit)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	b.add(s) // header atom
+	head := b.cur
+	depth := head.LoopDepth
+	exit := b.newBlock(depth)
+
+	b.frames = append(b.frames, frame{label: label, breakTo: exit})
+	for _, cc := range s.Body.List {
+		comm := cc.(*ast.CommClause)
+		body := b.newBlock(depth)
+		head.Succs = append(head.Succs, body)
+		b.cur = body
+		if comm.Comm != nil {
+			b.stmt(comm.Comm)
+		}
+		b.stmtList(comm.Body)
+		b.cur.Succs = append(b.cur.Succs, exit)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if len(s.Body.List) == 0 {
+		head.Succs = append(head.Succs, exit) // empty select blocks forever; keep the graph connected
+	}
+	b.cur = exit
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	lb := b.labelBlock(s.Label.Name)
+	lb.LoopDepth = b.cur.LoopDepth
+	b.cur.Succs = append(b.cur.Succs, lb)
+	b.cur = lb
+	b.label = s.Label.Name
+	b.stmt(s.Stmt)
+	b.label = ""
+}
+
+// labelBlock returns (creating on first use, for forward gotos) the
+// block a label names.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock(b.cur.LoopDepth)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if fr := b.findFrame(label, false); fr != nil {
+			b.cur.Succs = append(b.cur.Succs, fr.breakTo)
+		}
+	case token.CONTINUE:
+		if fr := b.findFrame(label, true); fr != nil {
+			b.cur.Succs = append(b.cur.Succs, fr.continueTo)
+		}
+	case token.GOTO:
+		b.cur.Succs = append(b.cur.Succs, b.labelBlock(label))
+	case token.FALLTHROUGH:
+		if fr := b.findFrame("", false); fr != nil && fr.fallTo != nil {
+			b.cur.Succs = append(b.cur.Succs, fr.fallTo)
+		}
+	}
+	b.terminate()
+}
+
+// findFrame returns the innermost frame matching label (any frame for
+// break, loops only for continue), or nil in ill-formed code.
+func (b *builder) findFrame(label string, loopOnly bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		fr := &b.frames[i]
+		if loopOnly && !fr.isLoop {
+			continue
+		}
+		if label == "" || fr.label == label {
+			return fr
+		}
+	}
+	return nil
+}
+
+// isPanicStmt reports whether s is a bare `panic(...)` call.
+func isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,133 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A DefSet is the flow-insensitive definition set of one function:
+// for every variable assigned anywhere under the root (including
+// inside nested func literals), the right-hand sides it was assigned.
+// Flow-insensitivity over-approximates "derived from" — acceptable
+// because the taint closure is only ever used to *excuse* stores
+// (prove an index worker-local), never to flag them.
+type DefSet struct {
+	info *types.Info
+	defs map[*types.Var][]ast.Expr // nil entry = defined by a form with no usable RHS
+}
+
+// Definitions collects every definition under root: assignments
+// (including multi-value assignments from calls, where the call is
+// recorded as each LHS's RHS), var specs, range clauses, and
+// type-switch bindings. IncDec defines a variable in terms of itself
+// and so adds no taint edge.
+func Definitions(info *types.Info, root ast.Node) *DefSet {
+	d := &DefSet{info: info, defs: make(map[*types.Var][]ast.Expr)}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					d.def(n.Lhs[i], n.Rhs[i])
+				}
+			} else if len(n.Rhs) == 1 {
+				for _, l := range n.Lhs {
+					d.def(l, n.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				var rhs ast.Expr
+				if i < len(n.Values) {
+					rhs = n.Values[i]
+				} else if len(n.Values) == 1 {
+					rhs = n.Values[0]
+				}
+				d.defObj(info.Defs[name], rhs)
+			}
+		case *ast.RangeStmt:
+			d.def(n.Key, n.X)
+			d.def(n.Value, n.X)
+		case *ast.TypeSwitchStmt:
+			if a, ok := n.Assign.(*ast.AssignStmt); ok && len(a.Lhs) == 1 && len(a.Rhs) == 1 {
+				// The bound variable is per-clause; Implicits holds the
+				// clause objects, but taint through the switched
+				// expression covers all of them via the Uses entry too.
+				d.def(a.Lhs[0], a.Rhs[0])
+			}
+		}
+		return true
+	})
+	return d
+}
+
+// def records rhs as a definition of the variable lhs names, if it
+// names one directly (stores through index/field/deref paths are not
+// variable definitions).
+func (d *DefSet) def(lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj := d.info.Defs[id]; obj != nil {
+		d.defObj(obj, rhs)
+		return
+	}
+	d.defObj(d.info.Uses[id], rhs)
+}
+
+func (d *DefSet) defObj(obj types.Object, rhs ast.Expr) {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	d.defs[v] = append(d.defs[v], rhs)
+}
+
+// Defs returns the recorded right-hand sides of v (nil entries mean a
+// definition with no usable RHS, e.g. an elided var spec).
+func (d *DefSet) Defs(v *types.Var) []ast.Expr { return d.defs[v] }
+
+// Derived computes the fixed point of "defined in terms of": every
+// variable with a definition whose RHS mentions a seed (or an
+// already-derived variable) joins the set. Seeds themselves are
+// included in the result.
+func (d *DefSet) Derived(seeds map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool, len(seeds))
+	for v := range seeds {
+		out[v] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for v, rhss := range d.defs {
+			if out[v] {
+				continue
+			}
+			for _, rhs := range rhss {
+				if rhs != nil && d.Mentions(rhs, out) {
+					out[v] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Mentions reports whether e references any variable in vars.
+func (d *DefSet) Mentions(e ast.Expr, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := d.info.Uses[id].(*types.Var); ok && vars[v] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

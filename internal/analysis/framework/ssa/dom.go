@@ -1,0 +1,117 @@
+package ssa
+
+// Dominator computation: the iterative algorithm of Cooper, Harvey
+// and Kennedy ("A Simple, Fast Dominance Algorithm") over the
+// reverse-postorder of the reachable blocks. Small CFGs, no need for
+// Lengauer-Tarjan.
+
+// ensureDom computes idom and rpo once.
+func (f *Func) ensureDom() {
+	if f.idom != nil {
+		return
+	}
+	n := len(f.Blocks)
+	f.rpo = make([]int, n)
+	for i := range f.rpo {
+		f.rpo[i] = -1
+	}
+	// Postorder DFS from entry.
+	var order []*Block
+	visited := make([]bool, n)
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		visited[b.Index] = true
+		for _, s := range b.Succs {
+			if !visited[s.Index] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(f.Entry)
+	// Reverse postorder numbering.
+	for i, b := range order {
+		f.rpo[b.Index] = len(order) - 1 - i
+	}
+
+	f.idom = make([]int, n)
+	for i := range f.idom {
+		f.idom[i] = -1
+	}
+	f.idom[f.Entry.Index] = f.Entry.Index
+	changed := true
+	for changed {
+		changed = false
+		// Process in reverse postorder (order is postorder; walk it
+		// backwards), skipping the entry.
+		for i := len(order) - 1; i >= 0; i-- {
+			b := order[i]
+			if b == f.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range b.Preds {
+				if f.rpo[p.Index] < 0 || f.idom[p.Index] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p.Index
+				} else {
+					newIdom = f.intersect(newIdom, p.Index)
+				}
+			}
+			if newIdom >= 0 && f.idom[b.Index] != newIdom {
+				f.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	f.idom[f.Entry.Index] = -1 // entry has no immediate dominator
+}
+
+func (f *Func) intersect(a, b int) int {
+	for a != b {
+		for f.rpo[a] > f.rpo[b] {
+			a = f.idom[a]
+		}
+		for f.rpo[b] > f.rpo[a] {
+			b = f.idom[b]
+		}
+	}
+	return a
+}
+
+// blockDominates reports whether block a dominates block b (both by
+// index). A block dominates itself. Unreachable blocks dominate
+// nothing and are dominated by nothing.
+func (f *Func) blockDominates(a, b int) bool {
+	f.ensureDom()
+	if f.rpo[a] < 0 || f.rpo[b] < 0 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := f.idom[b]
+		if next < 0 || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// Dominates reports whether the atom at site a executes before the
+// atom at site b on every path that reaches b: either both are in one
+// block and a comes first (or is the same atom), or a's block strictly
+// dominates b's.
+func (f *Func) Dominates(a, b Site) bool {
+	if a.Block == nil || b.Block == nil {
+		return false
+	}
+	if a.Block == b.Block {
+		f.ensureDom()
+		return f.rpo[a.Block.Index] >= 0 && a.Index <= b.Index
+	}
+	return f.blockDominates(a.Block.Index, b.Block.Index)
+}

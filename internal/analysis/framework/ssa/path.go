@@ -1,0 +1,95 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A Path is the access path of an l-value or alias expression:
+// the root variable plus the index, field and deref steps applied to
+// it, e.g. counts[w][d] = Root counts, Indices [w, d].
+type Path struct {
+	// Root is the variable the path starts from (never nil for a
+	// resolved path).
+	Root *types.Var
+	// Indices are the index expressions applied along the path, in
+	// source order (outermost access last).
+	Indices []ast.Expr
+	// HasField is set when the path selects a struct field.
+	HasField bool
+	// HasDeref is set when the path dereferences an explicit pointer
+	// (*p or selection through a pointer).
+	HasDeref bool
+	// BareVar is set when the expression is exactly the root
+	// identifier: an assignment to it rebinds the variable rather
+	// than writing through it.
+	BareVar bool
+}
+
+// ResolvePath decomposes e into a Path. It returns false for
+// expressions that are not variable-rooted (calls, literals,
+// package-level selector chains ending in functions, etc.).
+func ResolvePath(info *types.Info, e ast.Expr) (Path, bool) {
+	p := Path{}
+	first := true
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, ok := varOf(info, x)
+			if !ok {
+				return Path{}, false
+			}
+			p.Root = v
+			p.BareVar = first
+			reverse(p.Indices)
+			return p, true
+		case *ast.IndexExpr:
+			p.Indices = append(p.Indices, x.Index)
+			e = x.X
+		case *ast.SelectorExpr:
+			// Qualified package variable (pkg.Var): the root is the
+			// package-level variable itself.
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					v, ok := info.Uses[x.Sel].(*types.Var)
+					if !ok {
+						return Path{}, false
+					}
+					p.Root = v
+					p.BareVar = first
+					reverse(p.Indices)
+					return p, true
+				}
+			}
+			p.HasField = true
+			if t := info.TypeOf(x.X); t != nil {
+				if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+					p.HasDeref = true
+				}
+			}
+			e = x.X
+		case *ast.StarExpr:
+			p.HasDeref = true
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return Path{}, false
+		}
+		first = false
+	}
+}
+
+func varOf(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	v, ok := info.Defs[id].(*types.Var)
+	return v, ok
+}
+
+func reverse(es []ast.Expr) {
+	for i, j := 0, len(es)-1; i < j; i, j = i+1, j-1 {
+		es[i], es[j] = es[j], es[i]
+	}
+}

@@ -1,0 +1,103 @@
+// Package ssa is monetvet's flow-analysis layer: a deliberately small,
+// standard-library-only reimplementation of the pieces of
+// golang.org/x/tools/go/ssa the deep analyzers need (the x/tools
+// module is not vendored in this repo and the toolchain's copy is
+// unimportable; see the framework package doc). It provides:
+//
+//   - a control-flow graph over a function body, with statements as
+//     atoms, loop depth per block, and a node→site index (cfg.go)
+//   - dominators over that CFG, for "this Lock() dominates that
+//     store" proofs (dom.go)
+//   - a function-wide definition set with a fixed-point "derived
+//     from" taint closure, for "this index expression is derived from
+//     the worker id" proofs (defuse.go)
+//   - l-value path resolution (root variable, index chain, field and
+//     deref steps) shared by the store and alias analyses (path.go)
+//   - closure-capture resolution: the free variables of a func
+//     literal (capture.go)
+//
+// The design trade-offs are the usual ones for a lint-grade analysis,
+// chosen so every approximation errs toward *fewer* findings on
+// correct code (the proofs are used to excuse stores, never to accuse
+// them):
+//
+//   - The definition set is flow-insensitive: every assignment to a
+//     variable anywhere in the function counts as a definition. Taint
+//     therefore over-approximates "derived from", which can only make
+//     more stores look worker-local.
+//   - Nested func literals are not given their own CFGs; their
+//     statements map to the site of the statement that creates the
+//     literal. Dominance queries about code inside a closure resolve
+//     to the closure's creation point, which is conservative for
+//     guard proofs.
+//   - Unreachable code dominates nothing and is dominated by nothing;
+//     guard proofs simply fail there.
+package ssa
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A Func is the flow graph of one function (or func literal) body.
+type Func struct {
+	Info   *types.Info
+	Body   *ast.BlockStmt
+	Blocks []*Block
+	Entry  *Block
+
+	sites map[ast.Node]Site
+	idom  []int // Blocks index -> immediate dominator index; -1 entry/unreachable
+	rpo   []int // Blocks index -> reverse-postorder number; -1 unreachable
+}
+
+// A Block is a maximal straight-line sequence of statement atoms.
+// Structured statements (if/for/switch/...) appear as an atom in the
+// block where their header evaluates; their bodies live in successor
+// blocks.
+type Block struct {
+	Index     int
+	Stmts     []ast.Stmt
+	Succs     []*Block
+	Preds     []*Block
+	LoopDepth int
+}
+
+// A Site locates a statement atom within a Func: the block it belongs
+// to and its index in that block's atom list.
+type Site struct {
+	Block *Block
+	Index int
+}
+
+// Build constructs the CFG of body. Dominators are computed lazily on
+// the first Dominates query.
+func Build(info *types.Info, body *ast.BlockStmt) *Func {
+	f := &Func{Info: info, Body: body, sites: make(map[ast.Node]Site)}
+	b := &builder{f: f, labels: make(map[string]*Block)}
+	b.cur = b.newBlock(0)
+	f.Entry = b.cur
+	b.stmtList(body.List)
+	for _, blk := range f.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return f
+}
+
+// SiteOf returns the statement atom n belongs to. Nodes inside nested
+// func literals resolve to the statement that creates the literal.
+func (f *Func) SiteOf(n ast.Node) (Site, bool) {
+	s, ok := f.sites[n]
+	return s, ok
+}
+
+// LoopDepthOf returns the loop-nesting depth of the block containing
+// n, or 0 if n is not in the graph.
+func (f *Func) LoopDepthOf(n ast.Node) int {
+	if s, ok := f.sites[n]; ok {
+		return s.Block.LoopDepth
+	}
+	return 0
+}

@@ -1,0 +1,257 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// compile parses and typechecks one file and returns the body of the
+// named function plus the populated types.Info.
+func compile(t *testing.T, src, fn string) (*types.Info, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return info, fd
+		}
+	}
+	t.Fatalf("no func %s", fn)
+	return nil, nil
+}
+
+// stmtAt finds the first statement of the given concrete type.
+func findNode[T ast.Node](root ast.Node) T {
+	var out T
+	ast.Inspect(root, func(n ast.Node) bool {
+		if v, ok := n.(T); ok && isZero(out) {
+			out = v
+		}
+		return true
+	})
+	return out
+}
+
+func isZero[T ast.Node](v T) bool {
+	var z ast.Node = ast.Node(v)
+	return z == nil || z == ast.Node(*new(T))
+}
+
+func TestDominanceStraightLine(t *testing.T) {
+	info, fd := compile(t, `package p
+func f(a int) int {
+	x := a + 1
+	y := x * 2
+	return y
+}`, "f")
+	fn := Build(info, fd.Body)
+	stmts := fd.Body.List
+	s0, _ := fn.SiteOf(stmts[0])
+	s1, _ := fn.SiteOf(stmts[1])
+	if !fn.Dominates(s0, s1) {
+		t.Error("x := dominates y :=")
+	}
+	if fn.Dominates(s1, s0) {
+		t.Error("y := must not dominate x :=")
+	}
+}
+
+func TestDominanceBranch(t *testing.T) {
+	info, fd := compile(t, `package p
+func f(a int) int {
+	var mu int
+	if a > 0 {
+		mu = 1
+	} else {
+		mu = 2
+	}
+	out := mu
+	return out
+}`, "f")
+	fn := Build(info, fd.Body)
+	ifs := findNode[*ast.IfStmt](fd.Body)
+	thenStore, _ := fn.SiteOf(ifs.Body.List[0])
+	join, _ := fn.SiteOf(fd.Body.List[2]) // out := mu
+	if fn.Dominates(thenStore, join) {
+		t.Error("a store in one branch must not dominate the join")
+	}
+	header, _ := fn.SiteOf(fd.Body.List[0]) // var mu
+	if !fn.Dominates(header, join) {
+		t.Error("pre-branch statement dominates the join")
+	}
+	if !fn.Dominates(header, thenStore) {
+		t.Error("pre-branch statement dominates the branch body")
+	}
+}
+
+func TestLoopDepthAndBreak(t *testing.T) {
+	info, fd := compile(t, `package p
+func f(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+		for j := 0; j < i; j++ {
+			total += j
+		}
+	}
+	return total
+}`, "f")
+	fn := Build(info, fd.Body)
+	var inner *ast.AssignStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if a, ok := n.(*ast.AssignStmt); ok && a.Tok == token.ADD_ASSIGN {
+			inner = a
+		}
+		return true
+	})
+	if d := fn.LoopDepthOf(inner); d != 2 {
+		t.Errorf("total += j at loop depth %d, want 2", d)
+	}
+	if d := fn.LoopDepthOf(fd.Body.List[0]); d != 0 {
+		t.Errorf("total := 0 at loop depth %d, want 0", d)
+	}
+	// The return after the loop must be reachable (break wiring).
+	ret, ok := fn.SiteOf(fd.Body.List[2])
+	if !ok {
+		t.Fatal("return has no site")
+	}
+	entry := Site{Block: fn.Entry, Index: 0}
+	if !fn.Dominates(entry, ret) {
+		t.Error("entry must dominate the return")
+	}
+}
+
+func TestDerivedTaint(t *testing.T) {
+	info, fd := compile(t, `package p
+func f(counts [][]int, w int) {
+	c := counts[w]
+	cur := c
+	other := len(counts)
+	_ = cur
+	_ = other
+}`, "f")
+	defs := Definitions(info, fd.Body)
+	var wVar *types.Var
+	for _, p := range fd.Type.Params.List {
+		for _, n := range p.Names {
+			if n.Name == "w" {
+				wVar = info.Defs[n].(*types.Var)
+			}
+		}
+	}
+	derived := defs.Derived(map[*types.Var]bool{wVar: true})
+	names := map[string]bool{}
+	for v := range derived {
+		names[v.Name()] = true
+	}
+	if !names["c"] || !names["cur"] {
+		t.Errorf("c and cur should be derived from w; got %v", names)
+	}
+	if names["other"] {
+		t.Error("other is not derived from w")
+	}
+}
+
+func TestResolvePath(t *testing.T) {
+	info, fd := compile(t, `package p
+type s struct{ f int }
+func f(m [][]int, w int, ps []*s) {
+	m[w][0] = 1
+	ps[w].f = 2
+	x := 0
+	x = 3
+	_ = x
+}`, "f")
+	asg := fd.Body.List[0].(*ast.AssignStmt)
+	p, ok := ResolvePath(info, asg.Lhs[0])
+	if !ok || p.Root.Name() != "m" || len(p.Indices) != 2 || p.BareVar {
+		t.Errorf("m[w][0]: got %+v ok=%v", p, ok)
+	}
+	asg2 := fd.Body.List[1].(*ast.AssignStmt)
+	p2, ok := ResolvePath(info, asg2.Lhs[0])
+	if !ok || p2.Root.Name() != "ps" || len(p2.Indices) != 1 || !p2.HasField || !p2.HasDeref {
+		t.Errorf("ps[w].f: got %+v ok=%v", p2, ok)
+	}
+	asg3 := fd.Body.List[3].(*ast.AssignStmt)
+	p3, ok := ResolvePath(info, asg3.Lhs[0])
+	if !ok || !p3.BareVar || p3.Root.Name() != "x" {
+		t.Errorf("x: got %+v ok=%v", p3, ok)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	info, fd := compile(t, `package p
+var global int
+func f(shared []int) func(int) {
+	local := 0
+	return func(w int) {
+		inner := w
+		shared[w] = inner
+		local++
+		global++
+	}
+}`, "f")
+	lit := findNode[*ast.FuncLit](fd.Body)
+	free := FreeVars(info, lit)
+	names := map[string]bool{}
+	for v := range free {
+		names[v.Name()] = true
+	}
+	for _, want := range []string{"shared", "local", "global"} {
+		if !names[want] {
+			t.Errorf("%s should be free in the closure; got %v", want, names)
+		}
+	}
+	for _, not := range []string{"w", "inner"} {
+		if names[not] {
+			t.Errorf("%s is closure-local, not free", not)
+		}
+	}
+}
+
+func TestLockDominatesStore(t *testing.T) {
+	info, fd := compile(t, `package p
+import "sync"
+var mu sync.Mutex
+var n int
+func f(cond bool) {
+	mu.Lock()
+	n++
+	mu.Unlock()
+	if cond {
+		n--
+	}
+}`, "f")
+	fn := Build(info, fd.Body)
+	lock, _ := fn.SiteOf(fd.Body.List[0])
+	inc, _ := fn.SiteOf(fd.Body.List[1])
+	if !fn.Dominates(lock, inc) {
+		t.Error("Lock() dominates the guarded store")
+	}
+	ifs := fd.Body.List[3].(*ast.IfStmt)
+	dec, _ := fn.SiteOf(ifs.Body.List[0])
+	if !fn.Dominates(lock, dec) {
+		t.Error("Lock() dominates statements after Unlock too (dominance, not region)")
+	}
+	if fn.Dominates(dec, inc) {
+		t.Error("branch body must not dominate earlier code")
+	}
+}

@@ -29,6 +29,19 @@ type listPackage struct {
 	Error      *struct{ Err string }
 }
 
+// StandaloneOptions control the standalone driver's reporting.
+type StandaloneOptions struct {
+	// JSON prints surviving findings as a JSON array on stdout
+	// instead of text on w.
+	JSON bool
+	// BaselinePath, when set, loads accepted findings from that file
+	// and reports only findings not covered by it.
+	BaselinePath string
+	// WriteBaseline rewrites BaselinePath to accept every current
+	// finding instead of reporting anything.
+	WriteBaseline bool
+}
+
 // Standalone loads the packages matching patterns with
 // `go list -deps -export -json`, typechecks each non-dependency
 // package from source against the compiler's export data, runs the
@@ -38,6 +51,63 @@ type listPackage struct {
 // This is the ergonomic local entry point (`monetvet ./...`); CI and
 // `go vet -vettool` go through the unitchecker protocol instead.
 func Standalone(patterns []string, analyzers []*Analyzer, w io.Writer) int {
+	return StandaloneWith(patterns, analyzers, w, StandaloneOptions{})
+}
+
+// StandaloneWith is Standalone with baseline and JSON reporting.
+func StandaloneWith(patterns []string, analyzers []*Analyzer, w io.Writer, opts StandaloneOptions) int {
+	findings, code := collectFindings(patterns, analyzers, w)
+	if code != 0 {
+		return code
+	}
+
+	if opts.WriteBaseline {
+		if opts.BaselinePath == "" {
+			fmt.Fprintln(w, "monetvet: -write-baseline requires -baseline <file>")
+			return 2
+		}
+		if err := WriteBaseline(opts.BaselinePath, findings); err != nil {
+			fmt.Fprintf(w, "monetvet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(w, "monetvet: wrote %d finding(s) to %s\n", len(findings), opts.BaselinePath)
+		return 0
+	}
+	if opts.BaselinePath != "" {
+		baseline, err := LoadBaseline(opts.BaselinePath)
+		if err != nil {
+			fmt.Fprintf(w, "monetvet: %v\n", err)
+			return 2
+		}
+		findings = FilterBaseline(findings, baseline)
+	}
+
+	if opts.JSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(w, "monetvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// collectFindings runs the analyzers over the matched packages and
+// returns every surviving diagnostic as a Finding with a
+// repo-relative file path. The int is an exit code: non-zero only for
+// load or analysis failures.
+func collectFindings(patterns []string, analyzers []*Analyzer, w io.Writer) ([]Finding, int) {
 	args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Error"}, patterns...)
 	cmd := exec.Command("go", args...)
 	var stderr bytes.Buffer
@@ -45,7 +115,7 @@ func Standalone(patterns []string, analyzers []*Analyzer, w io.Writer) int {
 	out, err := cmd.Output()
 	if err != nil {
 		fmt.Fprintf(w, "monetvet: go list: %v\n%s", err, stderr.String())
-		return 2
+		return nil, 2
 	}
 
 	exports := make(map[string]string) // package path -> export data file
@@ -55,14 +125,14 @@ func Standalone(patterns []string, analyzers []*Analyzer, w io.Writer) int {
 		p := new(listPackage)
 		if err := dec.Decode(p); err != nil {
 			fmt.Fprintf(w, "monetvet: decoding go list output: %v\n", err)
-			return 2
+			return nil, 2
 		}
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
 		if p.Error != nil {
 			fmt.Fprintf(w, "monetvet: %s: %s\n", p.ImportPath, p.Error.Err)
-			return 2
+			return nil, 2
 		}
 		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
 			targets = append(targets, p)
@@ -78,14 +148,14 @@ func Standalone(patterns []string, analyzers []*Analyzer, w io.Writer) int {
 		return os.Open(file)
 	})
 
-	exit := 0
+	var findings []Finding
 	for _, p := range targets {
 		var files []*ast.File
 		for _, name := range p.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 			if err != nil {
 				fmt.Fprintf(w, "monetvet: %v\n", err)
-				return 2
+				return nil, 2
 			}
 			files = append(files, f)
 		}
@@ -94,17 +164,23 @@ func Standalone(patterns []string, analyzers []*Analyzer, w io.Writer) int {
 		tpkg, err := tc.Check(p.ImportPath, fset, files, info)
 		if err != nil {
 			fmt.Fprintf(w, "monetvet: %s: %v\n", p.ImportPath, err)
-			return 2
+			return nil, 2
 		}
 		diags, err := RunPackage(&Package{Fset: fset, Files: files, Types: tpkg, Info: info}, analyzers)
 		if err != nil {
 			fmt.Fprintf(w, "monetvet: %s: %v\n", p.ImportPath, err)
-			return 2
+			return nil, 2
 		}
 		for _, d := range diags {
-			fmt.Fprintf(w, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
-			exit = 1
+			pos := fset.Position(d.Pos)
+			findings = append(findings, Finding{
+				File:     relFile(pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
 	}
-	return exit
+	return findings, 0
 }

@@ -3,6 +3,7 @@ package framework
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -48,7 +49,12 @@ type vetConfig struct {
 //
 // Any other argument list falls through to the standalone driver
 // (standalone.go), so the same binary serves both
-// `go vet -vettool=$(pwd)/monetvet ./...` and `monetvet ./...`.
+// `go vet -vettool=$(pwd)/monetvet ./...` and `monetvet ./...`. The
+// standalone form additionally accepts:
+//
+//	-json                  findings as a JSON array on stdout
+//	-baseline <file>       suppress findings recorded in the file
+//	-write-baseline        rewrite -baseline to accept all findings
 func VetMain(analyzers []*Analyzer) {
 	log.SetFlags(0)
 	log.SetPrefix("monetvet: ")
@@ -64,7 +70,15 @@ func VetMain(analyzers []*Analyzer) {
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
 		runUnit(args[0], analyzers)
 	default:
-		os.Exit(Standalone(args, analyzers, os.Stderr))
+		var opts StandaloneOptions
+		fs := flag.NewFlagSet("monetvet", flag.ExitOnError)
+		fs.BoolVar(&opts.JSON, "json", false, "print findings as a JSON array on stdout")
+		fs.StringVar(&opts.BaselinePath, "baseline", "", "suppress findings recorded in this baseline `file`")
+		fs.BoolVar(&opts.WriteBaseline, "write-baseline", false, "rewrite -baseline to accept all current findings")
+		if err := fs.Parse(args); err != nil {
+			os.Exit(2)
+		}
+		os.Exit(StandaloneWith(fs.Args(), analyzers, os.Stderr, opts))
 	}
 }
 

@@ -1,0 +1,529 @@
+// Package kernalloc proves //monet:kernel functions allocation-free
+// on their hot paths, going past hotalloc's syntactic in-loop checks
+// in three ways:
+//
+//   - interprocedural: every same-package callee is summarized
+//     (does it allocate at all? does it allocate inside its own
+//     loops?) and a kernel call site is flagged when it pulls an
+//     allocating callee into a loop — or a loop-allocating callee in
+//     at any depth. Callees that are themselves //monet:kernel are
+//     exempt (they are checked directly); fmt/strconv/sort.Slice
+//     calls are treated as allocating on faith.
+//   - map operations anywhere in a kernel: creation, indexing,
+//     delete, range. Per-tuple hashing and incremental rehashing are
+//     exactly what the paper's radix-partitioned structures exist to
+//     avoid, so maps are banned from kernels outright, not just when
+//     they allocate.
+//   - flow-aware escapes: a growing append whose destination was
+//     *reassigned* to an unpreallocated slice on some path (hotalloc
+//     only examines the declaration), `defer`/`go` statements,
+//     capturing closures, and local variables whose address leaves
+//     the kernel (returned, or stored through a parameter or package
+//     variable).
+//
+// Out-of-loop allocation of the result buffer (out := make(...,n)
+// before the scan loop) stays legal: it is the amortized pattern the
+// engine's kernels are built around, and hotalloc already polices
+// per-iteration allocation of that kind. Direct in-loop make/new,
+// boxing and fmt calls inside the kernel body itself are likewise
+// hotalloc's findings; kernalloc deliberately does not duplicate
+// them.
+package kernalloc
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"monetlite/internal/analysis/framework"
+	"monetlite/internal/analysis/framework/ssa"
+	"monetlite/internal/analysis/monet"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "kernalloc",
+	Doc:  "prove //monet:kernel functions allocation-free on hot paths, interprocedurally",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	s := &state{
+		pass:  pass,
+		info:  pass.TypesInfo,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		sums:  make(map[*types.Func]*summary),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					s.decls[obj] = fn
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil && monet.IsKernel(fn) {
+				s.checkKernel(fn)
+			}
+		}
+	}
+	return nil
+}
+
+type state struct {
+	pass  *framework.Pass
+	info  *types.Info
+	decls map[*types.Func]*ast.FuncDecl
+	sums  map[*types.Func]*summary
+}
+
+// summary is the allocation behavior of one non-kernel function:
+// whether it may allocate at all, and whether it may allocate once
+// per iteration of its own loops. what/loopWhat describe the first
+// cause found, for the diagnostic.
+type summary struct {
+	anyPos   token.Pos
+	anyWhat  string
+	loopPos  token.Pos
+	loopWhat string
+	visiting bool
+}
+
+func (s *summary) allocsAny() bool  { return s.anyPos.IsValid() }
+func (s *summary) allocsLoop() bool { return s.loopPos.IsValid() }
+
+func (s *summary) record(inLoop bool, what string, pos token.Pos) {
+	if !s.anyPos.IsValid() {
+		s.anyPos, s.anyWhat = pos, what
+	}
+	if inLoop && !s.loopPos.IsValid() {
+		s.loopPos, s.loopWhat = pos, what
+	}
+}
+
+// checkKernel reports every allocation hazard in one kernel.
+func (s *state) checkKernel(fn *ast.FuncDecl) {
+	flow := ssa.Build(s.info, fn.Body)
+	reassigned := s.unpreallocReassignments(fn)
+	sig, _ := s.info.Defs[fn.Name].Type().(*types.Signature)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if len(ssa.FreeVars(s.info, n)) > 0 {
+				s.pass.Reportf(n.Pos(),
+					"closure captures variables inside kernel %s: a capturing closure allocates per kernel call; hoist it to the caller, pass state as parameters, or annotate //monet:allow kernalloc",
+					fn.Name.Name)
+			}
+		case *ast.DeferStmt:
+			s.pass.Reportf(n.Pos(),
+				"defer inside kernel %s: defers cost a frame record on the hot path; restructure or annotate //monet:allow kernalloc", fn.Name.Name)
+		case *ast.GoStmt:
+			s.pass.Reportf(n.Pos(),
+				"goroutine launch inside kernel %s allocates a stack per launch; fan out in the caller or annotate //monet:allow kernalloc with the amortization argument", fn.Name.Name)
+		case *ast.RangeStmt:
+			if t := s.info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					s.pass.Reportf(n.Pos(),
+						"range over a map inside kernel %s: per-tuple hashing and random iteration order have no place in a kernel; use the radix/slice structures", fn.Name.Name)
+				}
+			}
+		case *ast.IndexExpr:
+			if t := s.info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					s.pass.Reportf(n.Pos(),
+						"map indexing inside kernel %s: per-tuple hashing (and possible rehash allocation) on the hot path; use the radix/slice structures or annotate //monet:allow kernalloc", fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if t := s.info.TypeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					s.pass.Reportf(n.Pos(), "map literal inside kernel %s", fn.Name.Name)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if ue, ok := ast.Unparen(res).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+					if p, ok := ssa.ResolvePath(s.info, ue.X); ok && p.Root != nil && ssa.DeclaredWithin(p.Root, fn) {
+						s.pass.Reportf(ue.Pos(),
+							"address of local %s escapes kernel %s via return: the local is heap-allocated on every call", p.Root.Name(), fn.Name.Name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			s.checkEscapingAssign(fn, n)
+		case *ast.CallExpr:
+			s.checkCall(fn, flow, reassigned, n)
+		}
+		return true
+	})
+	_ = sig
+}
+
+// checkEscapingAssign flags `&local` stored somewhere that outlives
+// the kernel frame: through a parameter, a package variable, or any
+// field/deref/index path (bare rebinding of another local is fine).
+func (s *state) checkEscapingAssign(fn *ast.FuncDecl, n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, rhs := range n.Rhs {
+		ue, ok := ast.Unparen(rhs).(*ast.UnaryExpr)
+		if !ok || ue.Op != token.AND {
+			continue
+		}
+		src, ok := ssa.ResolvePath(s.info, ue.X)
+		if !ok || src.Root == nil || !ssa.DeclaredWithin(src.Root, fn) {
+			continue
+		}
+		dst, ok := ssa.ResolvePath(s.info, n.Lhs[i])
+		if !ok || dst.Root == nil {
+			continue
+		}
+		if dst.BareVar && ssa.DeclaredWithin(dst.Root, fn) {
+			continue // pointer held in another local: stays on the stack
+		}
+		s.pass.Reportf(ue.Pos(),
+			"address of local %s escapes kernel %s through %s: the local is heap-allocated on every call",
+			src.Root.Name(), fn.Name.Name, dst.Root.Name())
+	}
+}
+
+// checkCall handles append (flow-aware growth), delete, and
+// interprocedural allocation through same-package callees.
+func (s *state) checkCall(fn *ast.FuncDecl, flow *ssa.Func, reassigned map[*types.Var]token.Pos, call *ast.CallExpr) {
+	inLoop := flow.LoopDepthOf(call) > 0
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "append":
+			if !inLoop || len(call.Args) == 0 {
+				return
+			}
+			p, ok := ssa.ResolvePath(s.info, call.Args[0])
+			if !ok || !p.BareVar || p.Root == nil {
+				return
+			}
+			if pos, ok := reassigned[p.Root]; ok {
+				s.pass.Reportf(call.Pos(),
+					"append inside kernel %s may grow %s: it was reassigned to an unpreallocated slice at %s, so the loop reallocates; preallocate on every path",
+					fn.Name.Name, p.Root.Name(), s.pass.Fset.Position(pos))
+			}
+			return
+		case "delete":
+			if len(call.Args) > 0 {
+				if t := s.info.TypeOf(call.Args[0]); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						s.pass.Reportf(call.Pos(), "map delete inside kernel %s", fn.Name.Name)
+					}
+				}
+			}
+			return
+		}
+	}
+
+	callee := monet.Callee(s.info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	if callee.Pkg() != s.pass.Pkg {
+		s.checkForeignCall(fn, call, callee, inLoop)
+		return
+	}
+	decl, ok := s.decls[callee]
+	if !ok || monet.IsKernel(decl) {
+		return // no body here, or checked in its own right
+	}
+	sum := s.summarize(callee)
+	switch {
+	case inLoop && sum.allocsAny():
+		s.pass.Reportf(call.Pos(),
+			"kernel loop calls %s, which allocates (%s at %s): the allocation repeats per iteration; hoist it, pass a buffer, or mark the callee //monet:kernel and fix it",
+			callee.Name(), sum.anyWhat, s.pass.Fset.Position(sum.anyPos))
+	case !inLoop && sum.allocsLoop():
+		s.pass.Reportf(call.Pos(),
+			"kernel %s calls %s, which allocates per iteration of its own loops (%s at %s)",
+			fn.Name.Name, callee.Name(), sum.loopWhat, s.pass.Fset.Position(sum.loopPos))
+	}
+}
+
+// checkForeignCall applies the cross-package denylist: fmt is left to
+// hotalloc (which already bans it in kernels); strconv and the
+// reflection-driven sort.Slice family allocate by construction.
+func (s *state) checkForeignCall(fn *ast.FuncDecl, call *ast.CallExpr, callee *types.Func, inLoop bool) {
+	pkg := callee.Pkg().Name()
+	switch {
+	case pkg == "strconv":
+		s.pass.Reportf(call.Pos(), "kernel %s calls strconv.%s, which allocates", fn.Name.Name, callee.Name())
+	case pkg == "sort" && (callee.Name() == "Slice" || callee.Name() == "SliceStable"):
+		s.pass.Reportf(call.Pos(), "kernel %s calls sort.%s: the closure and reflect-based swapper allocate", fn.Name.Name, callee.Name())
+	}
+}
+
+// unpreallocReassignments collects locals (including parameters) that
+// some plain assignment in fn sets to an unpreallocated slice — the
+// flow hazard hotalloc's declaration-only check misses.
+func (s *state) unpreallocReassignments(fn *ast.FuncDecl) map[*types.Var]token.Pos {
+	out := make(map[*types.Var]token.Pos)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || a.Tok != token.ASSIGN || len(a.Lhs) != len(a.Rhs) {
+			return true
+		}
+		for i, lhs := range a.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := s.info.Uses[id].(*types.Var)
+			if !ok || !ssa.DeclaredWithin(v, fn) {
+				continue
+			}
+			if s.unpreallocated(a.Rhs[i]) {
+				if _, seen := out[v]; !seen {
+					out[v] = a.Rhs[i].Pos()
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// unpreallocated reports whether e yields a slice with no usable
+// capacity: nil, an empty literal, or make with constant-zero sizes.
+func (s *state) unpreallocated(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		if _, ok := s.info.TypeOf(e).Underlying().(*types.Slice); ok {
+			return len(e.Elts) == 0
+		}
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" || len(e.Args) < 2 {
+			return false
+		}
+		for _, arg := range e.Args[1:] {
+			tv, ok := s.info.Types[arg]
+			if !ok || tv.Value == nil || constant.Sign(tv.Value) != 0 {
+				return false // runtime or non-zero size: preallocated
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// summarize computes (memoized, cycle-tolerant) the allocation
+// summary of a same-package non-kernel function.
+func (s *state) summarize(obj *types.Func) *summary {
+	if sum, ok := s.sums[obj]; ok {
+		return sum // done, or optimistic view of a cycle in progress
+	}
+	sum := &summary{visiting: true}
+	s.sums[obj] = sum
+	decl := s.decls[obj]
+	if decl == nil || decl.Body == nil {
+		sum.visiting = false
+		return sum
+	}
+	flow := ssa.Build(s.info, decl.Body)
+	sig, _ := obj.Type().(*types.Signature)
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		inLoop := flow.LoopDepthOf(n) > 0
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if len(ssa.FreeVars(s.info, n)) > 0 {
+				sum.record(inLoop, "capturing closure", n.Pos())
+			}
+		case *ast.GoStmt:
+			sum.record(inLoop, "goroutine launch", n.Pos())
+		case *ast.CompositeLit:
+			switch s.info.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				sum.record(inLoop, "composite literal", n.Pos())
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					sum.record(inLoop, "&composite literal", n.Pos())
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := s.info.Types[n]; ok && tv.Value == nil {
+					if bt, ok := s.info.TypeOf(n).Underlying().(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+						sum.record(inLoop, "string concatenation", n.Pos())
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			if t := s.info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					sum.record(inLoop, "map operation", n.Pos())
+				}
+			}
+		case *ast.RangeStmt:
+			if t := s.info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					sum.record(inLoop, "map iteration", n.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			s.summarizeBoxing(sum, flow, n)
+		case *ast.ReturnStmt:
+			if sig != nil {
+				s.summarizeReturnBoxing(sum, flow, sig, n)
+			}
+		case *ast.CallExpr:
+			s.summarizeCall(sum, flow, n)
+		}
+		return true
+	})
+	sum.visiting = false
+	return sum
+}
+
+func (s *state) summarizeCall(sum *summary, flow *ssa.Func, call *ast.CallExpr) {
+	inLoop := flow.LoopDepthOf(call) > 0
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "make", "new":
+			sum.record(inLoop, id.Name, call.Pos())
+			return
+		case "append":
+			if len(call.Args) > 0 {
+				if p, ok := ssa.ResolvePath(s.info, call.Args[0]); ok && p.BareVar && p.Root != nil {
+					if s.mayGrow(p.Root) {
+						sum.record(inLoop, "growing append", call.Pos())
+					}
+				} else {
+					sum.record(inLoop, "append to a non-variable destination", call.Pos())
+				}
+			}
+			return
+		}
+	}
+	callee := monet.Callee(s.info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	if callee.Pkg() != s.pass.Pkg {
+		switch callee.Pkg().Name() {
+		case "fmt", "strconv":
+			sum.record(inLoop, callee.Pkg().Name()+"."+callee.Name(), call.Pos())
+		case "sort":
+			if callee.Name() == "Slice" || callee.Name() == "SliceStable" {
+				sum.record(inLoop, "sort."+callee.Name(), call.Pos())
+			}
+		}
+		return
+	}
+	inner := s.summarize(callee)
+	if inner.allocsAny() {
+		sum.record(inLoop, inner.anyWhat+" via "+callee.Name(), inner.anyPos)
+	}
+	if inner.allocsLoop() {
+		sum.record(true, inner.loopWhat+" via "+callee.Name(), inner.loopPos)
+	}
+}
+
+// mayGrow reports whether v's definitions include an unpreallocated
+// slice: nil declaration, empty literal, or zero-capacity make. A
+// parameter with no local definitions is caller-preallocated by the
+// kernel contract.
+func (s *state) mayGrow(v *types.Var) bool {
+	// Conservative local scan: any declaration or assignment of v to
+	// an unpreallocated value anywhere in the package file set.
+	grown := false
+	for _, f := range s.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if grown {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						obj := s.info.Defs[id]
+						if obj == nil {
+							obj = s.info.Uses[id]
+						}
+						if obj == v && s.unpreallocated(n.Rhs[i]) {
+							grown = true
+						}
+						if obj == v && n.Tok == token.DEFINE && s.unpreallocated(n.Rhs[i]) {
+							grown = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if s.info.Defs[name] != v {
+						continue
+					}
+					if len(n.Values) == 0 {
+						grown = true // var x []T: nil slice
+					} else if i < len(n.Values) && s.unpreallocated(n.Values[i]) {
+						grown = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return grown
+}
+
+// summarizeBoxing records concrete-to-interface assignments.
+func (s *state) summarizeBoxing(sum *summary, flow *ssa.Func, a *ast.AssignStmt) {
+	if a.Tok != token.ASSIGN || len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i := range a.Lhs {
+		lt := s.info.TypeOf(a.Lhs[i])
+		rt := s.info.TypeOf(a.Rhs[i])
+		if lt == nil || rt == nil {
+			continue
+		}
+		if isNilExpr(a.Rhs[i]) {
+			continue
+		}
+		if types.IsInterface(lt) && !types.IsInterface(rt) {
+			sum.record(flow.LoopDepthOf(a) > 0, "interface boxing", a.Rhs[i].Pos())
+		}
+	}
+}
+
+// summarizeReturnBoxing records concrete values returned as
+// interfaces.
+func (s *state) summarizeReturnBoxing(sum *summary, flow *ssa.Func, sig *types.Signature, r *ast.ReturnStmt) {
+	res := sig.Results()
+	if res == nil || len(r.Results) != res.Len() {
+		return
+	}
+	for i, e := range r.Results {
+		rt := s.info.TypeOf(e)
+		if rt == nil || isNilExpr(e) {
+			continue
+		}
+		if types.IsInterface(res.At(i).Type()) && !types.IsInterface(rt) {
+			sum.record(flow.LoopDepthOf(r) > 0, "interface boxing", e.Pos())
+		}
+	}
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

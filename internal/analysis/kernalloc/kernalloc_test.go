@@ -1,0 +1,12 @@
+package kernalloc_test
+
+import (
+	"testing"
+
+	"monetlite/internal/analysis/framework/analysistest"
+	"monetlite/internal/analysis/kernalloc"
+)
+
+func TestKernalloc(t *testing.T) {
+	analysistest.Run(t, kernalloc.Analyzer, "kern")
+}

@@ -1,0 +1,171 @@
+// Fixture for kernalloc: interprocedural allocation proofs for
+// //monet:kernel functions.
+package kern
+
+// newBuf allocates: any kernel loop calling it is flagged.
+func newBuf(n int) []int64 {
+	return make([]int64, n)
+}
+
+// fill allocates inside its own loop: even an out-of-loop kernel call
+// is flagged.
+func fill(dst [][]int64) {
+	for i := range dst {
+		dst[i] = make([]int64, 8)
+	}
+}
+
+var sink any
+
+// box stores a concrete value into an interface: one heap box per
+// call.
+func box(v int64) {
+	sink = v
+}
+
+// add is pure: calls to it are free.
+func add(a, b int64) int64 {
+	return a + b
+}
+
+// chain allocates only transitively, through newBuf.
+func chain(n int) []int64 {
+	return newBuf(n)
+}
+
+//monet:kernel
+// cleanKernel appends into the caller's preallocated buffer and calls
+// only pure or kernel callees: no findings.
+func cleanKernel(dst, src []int64) []int64 {
+	for i := range src {
+		dst = append(dst, add(src[i], 1))
+	}
+	return dst
+}
+
+//monet:kernel
+// kernelCallsKernel: //monet:kernel callees are checked directly, not
+// summarized.
+func kernelCallsKernel(dst, src []int64) []int64 {
+	return cleanKernel(dst, src)
+}
+
+//monet:kernel
+// outOfLoopMakeOK: the amortized allocate-once pattern stays legal
+// (hotalloc's territory, and it allows it out of loops too).
+func outOfLoopMakeOK(n int) []int64 {
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, int64(i))
+	}
+	return out
+}
+
+//monet:kernel
+func loopCallsAlloc(src []int64) int64 {
+	var total int64
+	for i := range src {
+		b := newBuf(4) // want "kernel loop calls newBuf, which allocates"
+		total += b[0] + src[i]
+	}
+	return total
+}
+
+//monet:kernel
+func loopCallsAllocTransitively(src []int64) int64 {
+	var total int64
+	for i := range src {
+		b := chain(4) // want "kernel loop calls chain, which allocates"
+		total += b[0] + src[i]
+	}
+	return total
+}
+
+//monet:kernel
+func callsLoopAlloc(dst [][]int64) {
+	fill(dst) // want "allocates per iteration of its own loops"
+}
+
+//monet:kernel
+func loopBoxes(src []int64) {
+	for i := range src {
+		box(src[i]) // want "kernel loop calls box, which allocates .interface boxing"
+	}
+}
+
+//monet:kernel
+func mapIndexing(m map[int64]int64, src []int64) {
+	for i := range src {
+		m[src[i]]++ // want "map indexing inside kernel"
+	}
+}
+
+//monet:kernel
+func mapDelete(m map[int64]int64, k int64) {
+	delete(m, k) // want "map delete inside kernel"
+}
+
+//monet:kernel
+func mapRange(m map[int64]int64) int64 {
+	var total int64
+	for _, v := range m { // want "range over a map inside kernel"
+		total += v
+	}
+	return total
+}
+
+//monet:kernel
+func capturingClosure(src []int64) int64 {
+	var total int64
+	bump := func() { total++ } // want "closure captures variables inside kernel"
+	for range src {
+		bump()
+	}
+	return total
+}
+
+//monet:kernel
+func deferred(src []int64) {
+	defer box(0) // want "defer inside kernel"
+	_ = src
+}
+
+//monet:kernel
+func launches(n int) {
+	go add(1, 2) // want "goroutine launch inside kernel"
+}
+
+//monet:kernel
+func escapeViaReturn(n int64) *int64 {
+	x := n * 2
+	return &x // want "address of local x escapes kernel escapeViaReturn via return"
+}
+
+//monet:kernel
+func escapeViaParam(out []*int64, n int64) {
+	x := n * 2
+	out[0] = &x // want "address of local x escapes kernel escapeViaParam through out"
+}
+
+//monet:kernel
+// reassignedAppend: the declaration preallocates, so hotalloc is
+// happy, but the conditional reassignment to nil makes the loop grow.
+func reassignedAppend(src []int64, huge bool) []int64 {
+	dst := make([]int64, 0, 16)
+	if huge {
+		dst = nil // the flow hazard
+	}
+	for i := range src {
+		dst = append(dst, src[i]) // want "reassigned to an unpreallocated slice"
+	}
+	return dst
+}
+
+//monet:kernel
+// allowedFanOut: the one-goroutine-per-worker launch is amortized
+// over the batch; the suppression documents it.
+func allowedFanOut(workers int, body func(w int)) {
+	for w := 0; w < workers; w++ {
+		go body(w) //monet:allow kernalloc one goroutine per worker per fan-out, amortized over the batch
+	}
+}

@@ -116,3 +116,56 @@ func IsOidSlice(t types.Type) bool {
 func IsOptions(t types.Type) bool {
 	return IsNamed(t, "core", "Options")
 }
+
+// A WorkerPool describes one of the engine's fan-out entry points:
+// which argument is the worker-body closure, and which of that
+// closure's parameters are per-unit identifiers (worker slot, morsel
+// index, partition/task index). A store inside the body that is
+// indexed by a value derived from an identifier parameter is
+// worker-local by the pool's contract; anything else it writes to
+// captured state is a candidate race.
+type WorkerPool struct {
+	// BodyArg is the zero-based index of the closure argument among
+	// the call's non-receiver arguments.
+	BodyArg int
+	// IDParams are the zero-based closure-parameter indices that
+	// identify the unit of work (all of them are exclusive per
+	// concurrent invocation).
+	IDParams []int
+}
+
+// WorkerPools maps the fan-out functions of internal/core and
+// internal/engine — recognized by bare function/method name, like the
+// rest of monetvet's vocabulary, so fixture stubs work — to the shape
+// of their worker bodies.
+var WorkerPools = map[string]WorkerPool{
+	// core: ForEach(workers, n, body func(w, i int))
+	"ForEach": {BodyArg: 2, IDParams: []int{0, 1}},
+	// core: ForEachSpan(workers, n, rec, body func(w, i int))
+	"ForEachSpan": {BodyArg: 3, IDParams: []int{0, 1}},
+	// core: ForMorsels(workers, n, body func(m, lo, hi int))
+	"ForMorsels": {BodyArg: 2, IDParams: []int{0, 1, 2}},
+	// core: forEachIndex(workers, n, body func(w, i int))
+	"forEachIndex": {BodyArg: 2, IDParams: []int{0, 1}},
+	// core: runTasks(workers, tasks, body func(w int, t *joinTask)) —
+	// the task pointer is exclusive to one worker while it runs.
+	"runTasks": {BodyArg: 2, IDParams: []int{0, 1}},
+	// engine: (*execCtx).forMorsels(n, body func(w, m, lo, hi int))
+	"forMorsels": {BodyArg: 1, IDParams: []int{0, 1, 2, 3}},
+	// engine: (*execCtx).forMorselsErr(n, body func(w, m, lo, hi int) error)
+	"forMorselsErr": {BodyArg: 1, IDParams: []int{0, 1, 2, 3}},
+}
+
+// IsSyncLock reports whether call is mu.Lock() on a sync.Mutex or
+// sync.RWMutex (write lock only — RLock does not license stores).
+func IsSyncLock(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Lock" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return IsNamed(t, "sync", "Mutex") || IsNamed(t, "sync", "RWMutex")
+}

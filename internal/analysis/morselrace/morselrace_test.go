@@ -1,0 +1,12 @@
+package morselrace_test
+
+import (
+	"testing"
+
+	"monetlite/internal/analysis/framework/analysistest"
+	"monetlite/internal/analysis/morselrace"
+)
+
+func TestMorselrace(t *testing.T) {
+	analysistest.Run(t, morselrace.Analyzer, "worker")
+}

@@ -1,0 +1,22 @@
+// Package core stubs the worker-pool API shapes morselrace keys on.
+package core
+
+// SpanRecorder mirrors the profiling recorder's shape.
+type SpanRecorder struct{}
+
+// ForEach fans body out over n work items.
+func ForEach(workers, n int, body func(w, i int)) {
+	for i := 0; i < n; i++ {
+		body(0, i)
+	}
+}
+
+// ForEachSpan is ForEach with span capture.
+func ForEachSpan(workers, n int, rec *SpanRecorder, body func(w, i int)) {
+	ForEach(workers, n, body)
+}
+
+// ForMorsels fans body out over morsel ranges.
+func ForMorsels(workers, n int, body func(m, lo, hi int)) {
+	body(0, 0, n)
+}

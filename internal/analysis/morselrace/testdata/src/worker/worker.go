@@ -1,0 +1,167 @@
+// Fixture for morselrace: stores inside worker-pool bodies.
+package worker
+
+import (
+	"core"
+	"sync"
+)
+
+// Per-worker slot, indexed by the worker id: the canonical safe
+// pattern.
+func indexedOK(workers, n int, vals []int64) []int64 {
+	sums := make([]int64, workers)
+	core.ForEach(workers, n, func(w, i int) {
+		sums[w] += vals[i]
+	})
+	return sums
+}
+
+type arena struct{ buf []int64 }
+
+// Writing through a pointer into an id-indexed slot: the per-worker
+// arena pattern.
+func arenaOK(workers, n int, arenas []arena) {
+	core.ForEach(workers, n, func(w, i int) {
+		a := &arenas[w]
+		a.buf[0]++
+	})
+}
+
+// A local alias of an id-indexed slot stays unit-local even when the
+// store index itself carries no id.
+func derivedAliasOK(workers, n int, counts [][]int64) {
+	core.ForEach(workers, n, func(w, i int) {
+		cur := counts[w]
+		for d := 0; d < len(cur); d++ {
+			cur[d]++
+		}
+	})
+}
+
+// Morsel bodies may write any index derived from their range bounds.
+func morselRangeOK(workers, n int, out []int64) {
+	core.ForMorsels(workers, n, func(m, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = 1
+		}
+	})
+}
+
+// Growing a captured slice concurrently loses elements.
+func sharedAppend(workers, n int, vals []int64) []int64 {
+	var out []int64
+	core.ForEach(workers, n, func(w, i int) {
+		out = append(out, vals[i]) // want "append to captured out"
+	})
+	return out
+}
+
+// A captured scalar accumulator is a read-modify-write race.
+func sharedSum(workers, n int, vals []int64) int64 {
+	var total int64
+	core.ForEach(workers, n, func(w, i int) {
+		total += vals[i] // want "write to captured total"
+	})
+	return total
+}
+
+// A fixed element of a captured slice is one shared slot.
+func sharedSlot(workers, n int, out []int64) {
+	core.ForEach(workers, n, func(w, i int) {
+		out[0] = int64(i) // want "not indexed by a worker/morsel id"
+	})
+}
+
+// A whole-slice alias reaches the same shared memory the captured
+// slice does.
+func aliasShared(workers, n int, shared []int64) {
+	core.ForEach(workers, n, func(w, i int) {
+		s := shared
+		s[1] = int64(w) // want "aliases captured shared"
+	})
+}
+
+// The same alias is fine when the store index is id-derived.
+func aliasDerivedIndexOK(workers, n int, shared []int64) {
+	core.ForEach(workers, n, func(w, i int) {
+		s := shared
+		s[i] = int64(w)
+	})
+}
+
+// Fields of captured structs are shared.
+type state struct{ hits int64 }
+
+func fieldWrite(workers, n int, st *state) {
+	core.ForEach(workers, n, func(w, i int) {
+		st.hits = int64(i) // want "write through captured st"
+	})
+}
+
+// A dominating Lock() licenses the store.
+func mutexOK(workers, n int, vals []int64) int64 {
+	var total int64
+	var mu sync.Mutex
+	core.ForEach(workers, n, func(w, i int) {
+		mu.Lock()
+		total += vals[i]
+		mu.Unlock()
+	})
+	return total
+}
+
+// A Lock() on only one path does not.
+func mutexWrongPath(workers, n int, vals []int64, cond bool) int64 {
+	var total int64
+	var mu sync.Mutex
+	core.ForEach(workers, n, func(w, i int) {
+		if cond {
+			mu.Lock()
+			defer mu.Unlock()
+		}
+		total += vals[i] // want "write to captured total"
+	})
+	return total
+}
+
+// ForEachSpan bodies follow the same contract.
+func spanBody(workers, n int, rec *core.SpanRecorder) {
+	hits := 0
+	core.ForEachSpan(workers, n, rec, func(w, i int) {
+		hits++ // want "write to captured hits"
+	})
+	_ = hits
+}
+
+// Raw goroutine launches: parameters are per-launch snapshots, and
+// Go 1.22 loop variables are per-iteration; everything else captured
+// is shared.
+func rawGo(workers int, res []int64) {
+	var done int
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			res[w] = 1
+			done++ // want "write to captured done"
+		}(w)
+	}
+}
+
+// A nested fan-out inherits the outer body's identifiers: row is
+// exclusive to outer unit i, so the inner body may write it freely.
+func nestedOK(workers, n int, grid [][]int64) {
+	core.ForEach(workers, n, func(w, i int) {
+		row := grid[i]
+		core.ForEach(1, len(row), func(w2, j int) {
+			row[0] = int64(j)
+		})
+	})
+}
+
+// Justified suppression: the diagnostic is covered by //monet:allow.
+func allowedLastWins(workers, n int) int {
+	last := 0
+	core.ForEach(workers, n, func(w, i int) {
+		last = i //monet:allow morselrace any winner acceptable, value is a hint only
+	})
+	return last
+}

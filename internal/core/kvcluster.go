@@ -148,6 +148,7 @@ func kvRegionFanOut(kSrc []int64, vSrc []float64, kDst []int64, vDst []float64,
 		workers = len(regionIdx)
 	}
 	scratch := make([][]int, workers)
+	//monet:allow kernalloc per-worker fan-out: one launch and one closure per worker, amortized over the region batch
 	forEachIndex(workers, len(regionIdx), func(w, i int) {
 		cursors := scratch[w]
 		if cursors == nil {
@@ -171,10 +172,12 @@ func clusterKVRegionParallel(kSrc []int64, vSrc []float64, kDst []int64, vDst []
 	lo, hi int, shift uint, mask uint64, hp, workers int, bounds []int) {
 	n := hi - lo
 	workers = clampWorkers(workers, n)
+	//monet:allow kernalloc bounds helper allocated once per region, not per tuple
 	chunk := func(w int) (int, int) {
 		return lo + w*n/workers, lo + (w+1)*n/workers
 	}
 	counts := make([][]int, workers)
+	//monet:allow kernalloc per-worker fan-out: one launch and one closure per worker, amortized over the region
 	forEachIndex(workers, workers, func(_, w int) {
 		c := make([]int, hp)
 		clo, chi := chunk(w)
@@ -192,6 +195,7 @@ func clusterKVRegionParallel(kSrc []int64, vSrc []float64, kDst []int64, vDst []
 			pos += c
 		}
 	}
+	//monet:allow kernalloc per-worker fan-out: one launch and one closure per worker, amortized over the region
 	forEachIndex(workers, workers, func(_, w int) {
 		cur := counts[w]
 		clo, chi := chunk(w)

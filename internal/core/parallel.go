@@ -431,6 +431,7 @@ func regionFanOut(src, dst *bat.Pairs, regions, regionIdx []int, shift uint, mas
 		workers = len(regionIdx)
 	}
 	scratch := make([][]int, workers)
+	//monet:allow kernalloc per-worker fan-out: one launch and one closure per worker, amortized over the region batch
 	forEachIndex(workers, len(regionIdx), func(w, i int) {
 		cursors := scratch[w]
 		if cursors == nil {
@@ -457,6 +458,7 @@ func clusterRegionParallel(src, dst *bat.Pairs, lo, hi int, shift uint, mask uin
 	if workers < 1 {
 		workers = 1
 	}
+	//monet:allow kernalloc bounds helper allocated once per region, not per tuple
 	chunk := func(w int) (int, int) {
 		return lo + w*n/workers, lo + (w+1)*n/workers
 	}
@@ -464,8 +466,8 @@ func clusterRegionParallel(src, dst *bat.Pairs, lo, hi int, shift uint, mask uin
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
+		go func(w int) { //monet:allow kernalloc one goroutine stack per worker per region, amortized over the tuples
+			defer wg.Done() //monet:allow kernalloc once per worker goroutine, not on the tuple loop
 			//monet:allow hotalloc one histogram per worker per region, not per tuple
 			c := make([]int, hp)
 			clo, chi := chunk(w)
@@ -487,8 +489,8 @@ func clusterRegionParallel(src, dst *bat.Pairs, lo, hi int, shift uint, mask uin
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
+		go func(w int) { //monet:allow kernalloc one goroutine stack per worker per region, amortized over the tuples
+			defer wg.Done() //monet:allow kernalloc once per worker goroutine, not on the tuple loop
 			cur := counts[w]
 			clo, chi := chunk(w)
 			for i := clo; i < chi; i++ {

@@ -90,3 +90,97 @@ func FuzzSelectRangePos(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSelectCodePos checks the positional dictionary-code select
+// kernel against a materializing oracle that re-reads every position
+// through codeOf (the single source of the wraparound invariant):
+//
+//   - exactly the positions in [from, to) whose unsigned code equals
+//     the probe are emitted, ascending;
+//   - the narrow I8/I16 fast paths (which pre-narrow the probe and
+//     compare at machine width) agree with the generic decode;
+//   - the kernel appends to the caller's buffer — an existing prefix
+//     must survive untouched.
+func FuzzSelectCodePos(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 2, 1}, int64(2), uint8(0), uint8(255), uint8(0))
+	f.Add([]byte{}, int64(0), uint8(0), uint8(0), uint8(1))
+	f.Add([]byte{0xff, 0x00, 0x80, 0xff}, int64(255), uint8(0), uint8(4), uint8(0))
+	f.Add([]byte{0x01, 0xff, 0x01, 0xff}, int64(0xff01), uint8(0), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, code int64, fromRaw, toRaw, width uint8) {
+		var vec bat.Vector
+		switch width % 4 {
+		case 0:
+			vals := make([]int8, len(data))
+			for i, b := range data {
+				vals[i] = int8(b)
+			}
+			vec = bat.NewI8(vals)
+		case 1:
+			vals := make([]int16, len(data)/2)
+			for i := range vals {
+				vals[i] = int16(binary.LittleEndian.Uint16(data[2*i:]))
+			}
+			vec = bat.NewI16(vals)
+		case 2:
+			vals := make([]int32, len(data)/4)
+			for i := range vals {
+				vals[i] = int32(binary.LittleEndian.Uint32(data[4*i:]))
+			}
+			vec = bat.NewI32(vals)
+		default:
+			vals := make([]int64, len(data)/8)
+			for i := range vals {
+				vals[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+			}
+			vec = bat.NewI64(vals)
+		}
+		n := vec.Len()
+		from := 0
+		if n > 0 {
+			from = int(fromRaw) % (n + 1)
+		}
+		to := from
+		if n > from {
+			to = from + int(toRaw)%(n-from+1)
+		}
+		col := &Column{Def: ColumnDef{Name: "v", Type: LString}, Vec: vec}
+
+		// Probe codes are dictionary indexes: clamp into the width's
+		// unsigned range, matching the kernel's contract (the narrow
+		// fast paths pre-narrow the probe).
+		switch vec.Type() {
+		case bat.TI8:
+			code &= 0xff
+		case bat.TI16:
+			code &= 0xffff
+		}
+
+		// Materializing oracle over the shared wraparound decoder.
+		var want []int32
+		for i := from; i < to; i++ {
+			if codeOf(col, i) == code {
+				want = append(want, int32(i))
+			}
+		}
+
+		prefix := []int32{-3, -5}
+		dst := make([]int32, len(prefix), len(prefix)+len(want))
+		copy(dst, prefix)
+		got := SelectCodePos(col, code, from, to, dst)
+
+		if len(got) != len(prefix)+len(want) {
+			t.Fatalf("SelectCodePos emitted %d positions, oracle %d (width %d, code %d, rows [%d,%d))",
+				len(got)-len(prefix), len(want), vec.Width(), code, from, to)
+		}
+		for i, p := range prefix {
+			if got[i] != p {
+				t.Fatalf("caller's buffer prefix clobbered: %v", got[:len(prefix)])
+			}
+		}
+		for i, p := range want {
+			if got[len(prefix)+i] != p {
+				t.Fatalf("position %d: got %d, oracle %d", i, got[len(prefix)+i], p)
+			}
+		}
+	})
+}

@@ -108,6 +108,7 @@ func nativeSelectRangeAt(c *Column, lo, hi int64, from, to int) []bat.Oid {
 	case *bat.I64Vec:
 		return selectSlice(v.V[from:to], lo, hi, from)
 	default:
+		//monet:allow kernalloc non-escaping capacity-estimate predicate, stack-allocated; the scan loop itself is allocation-free
 		out := make([]bat.Oid, 0, estimateCapRange(from, to, func(i int) bool {
 			x := c.Vec.Int(i)
 			return x >= lo && x <= hi
@@ -127,6 +128,7 @@ func nativeSelectRangeAt(c *Column, lo, hi int64, from, to int) []bat.Oid {
 //
 //monet:kernel
 func selectSlice[T int8 | int16 | int32 | int64](vals []T, lo, hi int64, base int) []bat.Oid {
+	//monet:allow kernalloc non-escaping capacity-estimate predicate, stack-allocated; the scan loop itself is allocation-free
 	out := make([]bat.Oid, 0, estimateCapRange(0, len(vals), func(i int) bool {
 		x := int64(vals[i])
 		return x >= lo && x <= hi
@@ -206,6 +208,7 @@ func nativeSelectCodeAt(c *Column, code int64, from, to int) []bat.Oid {
 	case *bat.I16Vec:
 		return selectEqSlice(v.V[from:to], int16(code), from)
 	default:
+		//monet:allow kernalloc non-escaping capacity-estimate predicate, stack-allocated; the scan loop itself is allocation-free
 		out := make([]bat.Oid, 0, estimateCapRange(from, to, func(i int) bool { return codeOf(c, i) == code }))
 		for i := from; i < to; i++ {
 			if codeOf(c, i) == code {
@@ -224,6 +227,7 @@ func nativeSelectCodeAt(c *Column, code int64, from, to int) []bat.Oid {
 //
 //monet:kernel
 func selectEqSlice[T int8 | int16](vals []T, code T, base int) []bat.Oid {
+	//monet:allow kernalloc non-escaping capacity-estimate predicate, stack-allocated; the scan loop itself is allocation-free
 	out := make([]bat.Oid, 0, estimateCapRange(0, len(vals), func(i int) bool { return vals[i] == code }))
 	for i, v := range vals {
 		if v == code {

@@ -124,6 +124,8 @@ func fmtBytes(b float64) string {
 // its member stages with their per-stage details and predictions, but
 // the stages report a zero breakdown so Predicted() counts the
 // pipeline's net cost exactly once.
+//
+//monet:allow costcover explain-only adapter: exec() always errors and the enclosing pipelineOp accounts the fused traffic exactly once
 type pipeStageOp struct {
 	inner physOp
 	m     memsim.Machine
