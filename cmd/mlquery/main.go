@@ -12,7 +12,8 @@
 //	mlquery [-rows 1048576] [-parts 2000] [-machine origin2k] [-sim]
 //	        [-par 0] [-pipeline on|off] [-agg auto|hash|sort|radix]
 //	        [-verify] [-json] [-analyze] [-trace out.json]
-//	        [-calib out.json] [-top 10]
+//	        [-calib out.json] [-learn in.json] [-replan 4] [-top 10]
+//	mlquery -calibrate[=file] [-calshort]
 //
 // -par bounds the worker goroutines of the whole native operator tree
 // (morsel-driven parallelism; 0 = GOMAXPROCS, 1 = serial).
@@ -38,10 +39,33 @@
 // embedded as an "analyze" block per query. -trace writes the same
 // profiles as one Chrome-trace JSON (chrome://tracing, Perfetto; one
 // process per query, one thread row per worker plus an "operators"
-// row). -calib aggregates per-operator-kind predicted-vs-actual
-// ratios across all queries into a calibration file
-// (costmodel.Residuals). All three imply profiled runs; the reported
-// native timings always come from unprofiled runs.
+// row). All three imply profiled runs; the reported native timings
+// always come from unprofiled runs.
+//
+// The self-tuning loop is three flags working together:
+//
+//   - mlquery -calibrate[=file] measures the running machine — the
+//     paper's Calibrator (§3.4.3) — validates the result against the
+//     calibration sanity invariants, writes it as a JSON machine
+//     profile (default ./monetlite-host.json, the search path of
+//     -machine host) and exits. -calshort uses reduced sweeps for CI
+//     smoke jobs.
+//   - mlquery -calib out.json aggregates per-operator-kind
+//     predicted-vs-actual ratios from profiled runs of the query set
+//     into a residual file (costmodel.Residuals).
+//   - mlquery -learn in.json loads such a residual file back and
+//     multiplies the learned per-kind corrections into every
+//     prediction of this run — planning choices, EXPLAIN output and
+//     the -json predicted_ms all shift toward observed reality.
+//
+// So `mlquery -calibrate && mlquery -machine host -calib r.json &&
+// mlquery -machine host -learn r.json` goes from canned 1999 numbers
+// to a host-calibrated, residual-corrected cost model in three runs.
+//
+// -replan sets the mid-query re-optimization threshold (observed vs
+// estimated cardinality at materialization boundaries, default 4;
+// 0 disables). With -analyze, triggered replans show up as
+// "replanned at <op>: est=N obs=M" annotations.
 package main
 
 import (
@@ -59,6 +83,7 @@ import (
 	"monetlite"
 	"monetlite/internal/costmodel"
 	"monetlite/internal/engine"
+	"monetlite/internal/memsim"
 )
 
 // query is one canned query: a name, the SQL it stands for, and its
@@ -84,27 +109,67 @@ type queryReport struct {
 	Analyze      *engine.Profile `json:"analyze,omitempty"`
 	ResultRows   int             `json:"result_rows"`
 	PredictedMS  float64         `json:"predicted_ms"`
-	BytesPerOp   uint64          `json:"bytes_per_op"`
-	AllocsPerOp  uint64          `json:"allocs_per_op"`
-	AggStrategy  string          `json:"agg_strategy,omitempty"`
-	HashAggMS    *float64        `json:"hash_agg_ms,omitempty"`
-	HashAggBPO   *uint64         `json:"hash_agg_bytes_per_op,omitempty"`
-	HashAggAPO   *uint64         `json:"hash_agg_allocs_per_op,omitempty"`
-	SimMS        *float64        `json:"simulated_ms,omitempty"`
-	SimL1        *uint64         `json:"simulated_l1_misses,omitempty"`
-	SimL2        *uint64         `json:"simulated_l2_misses,omitempty"`
-	SimTLB       *uint64         `json:"simulated_tlb_misses,omitempty"`
+	// PredictionErrorFactor is max(predicted/native, native/predicted)
+	// ≥ 1 — how far the cost model's prediction is off, direction
+	// ignored. The report's geomean of these is the calibration
+	// quality metric tracked across BENCH snapshots.
+	PredictionErrorFactor float64  `json:"prediction_error_factor"`
+	BytesPerOp            uint64   `json:"bytes_per_op"`
+	AllocsPerOp           uint64   `json:"allocs_per_op"`
+	AggStrategy           string   `json:"agg_strategy,omitempty"`
+	HashAggMS             *float64 `json:"hash_agg_ms,omitempty"`
+	HashAggBPO            *uint64  `json:"hash_agg_bytes_per_op,omitempty"`
+	HashAggAPO            *uint64  `json:"hash_agg_allocs_per_op,omitempty"`
+	SimMS                 *float64 `json:"simulated_ms,omitempty"`
+	SimL1                 *uint64  `json:"simulated_l1_misses,omitempty"`
+	SimL2                 *uint64  `json:"simulated_l2_misses,omitempty"`
+	SimTLB                *uint64  `json:"simulated_tlb_misses,omitempty"`
+}
+
+// machineInfo is the -json "machine" block: which profile priced the
+// plans and where it came from.
+type machineInfo struct {
+	Name string `json:"name"`
+	// Source is "canned" for built-in profiles or "calibrated" when
+	// the profile was loaded from a calibration file (File).
+	Source string `json:"source"`
+	File   string `json:"file,omitempty"`
+	// Corrections holds the learned per-operator-kind multipliers
+	// applied via -learn (absent when running uncorrected).
+	Corrections  map[string]float64 `json:"corrections,omitempty"`
+	LearnedFrom  string             `json:"learned_from,omitempty"`
+	ReplanFactor float64            `json:"replan_factor"`
 }
 
 // report is the top-level -json document.
 type report struct {
-	Rows     int           `json:"rows"`
-	Parts    int           `json:"parts"`
-	Machine  string        `json:"machine"`
-	Workers  int           `json:"workers"`
-	Pipeline bool          `json:"pipeline"`
-	GoMaxP   int           `json:"gomaxprocs"`
-	Queries  []queryReport `json:"queries"`
+	Rows     int         `json:"rows"`
+	Parts    int         `json:"parts"`
+	Machine  machineInfo `json:"machine"`
+	Workers  int         `json:"workers"`
+	Pipeline bool        `json:"pipeline"`
+	GoMaxP   int         `json:"gomaxprocs"`
+	// PredictionErrorGeomean is the geometric mean of the per-query
+	// prediction_error_factor values — 1.0 would be a perfect model.
+	PredictionErrorGeomean float64       `json:"prediction_error_geomean"`
+	Queries                []queryReport `json:"queries"`
+}
+
+// optionalPath is a flag that can be given bare (-calibrate → default
+// path) or with a value (-calibrate=custom.json).
+type optionalPath struct {
+	set  bool
+	path string
+}
+
+func (o *optionalPath) String() string   { return o.path }
+func (o *optionalPath) IsBoolFlag() bool { return true }
+func (o *optionalPath) Set(v string) error {
+	o.set = true
+	if v != "true" { // bare -calibrate arrives as the literal "true"
+		o.path = v
+	}
+	return nil
 }
 
 func main() {
@@ -122,8 +187,18 @@ func main() {
 	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: profile every query and print per-operator actuals (or embed them in -json)")
 	traceOut := flag.String("trace", "", "write per-query execution profiles as one Chrome-trace JSON to this file")
 	calibOut := flag.String("calib", "", "write aggregated predicted-vs-actual residuals (cost-model calibration feed) to this file")
+	var calibrateTo optionalPath
+	flag.Var(&calibrateTo, "calibrate", "measure this machine's cache/TLB geometry and latencies, write the profile (default ./monetlite-host.json) and exit")
+	calShort := flag.Bool("calshort", false, "use reduced calibration sweeps (CI smoke; only with -calibrate)")
+	learnFrom := flag.String("learn", "", "apply learned per-operator-kind corrections from this -calib residual file to every prediction")
+	replanF := flag.Float64("replan", 4, "mid-query replan threshold: re-optimize when observed cardinality diverges from the estimate by this factor (0 = off)")
 	top := flag.Int("top", 10, "result rows to print per query")
 	flag.Parse()
+
+	if calibrateTo.set {
+		runCalibration(calibrateTo.path, *calShort)
+		return
+	}
 
 	m, err := monetlite.MachineByName(*machine)
 	if err != nil {
@@ -133,6 +208,40 @@ func main() {
 	if *rows <= 0 || *nparts <= 0 {
 		fmt.Fprintln(os.Stderr, "mlquery: -rows and -parts must be positive")
 		os.Exit(2)
+	}
+	if *replanF < 0 || (*replanF > 0 && *replanF <= 1) {
+		fmt.Fprintln(os.Stderr, "mlquery: -replan must be 0 (off) or > 1")
+		os.Exit(2)
+	}
+
+	// The unified cost model every planning decision goes through:
+	// the (possibly calibrated) machine, plus learned per-kind
+	// corrections when -learn provides them.
+	model := monetlite.NewCostModel(m)
+	mInfo := machineInfo{Name: m.Name, Source: "canned", ReplanFactor: *replanF}
+	if m.Name == memsim.HostName {
+		if _, path, err := memsim.LoadHost(); err == nil {
+			mInfo.Source, mInfo.File = "calibrated", path
+		}
+	}
+	if *learnFrom != "" {
+		raw, err := os.ReadFile(*learnFrom)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlquery: -learn: %v\n", err)
+			os.Exit(2)
+		}
+		var resi monetlite.Residuals
+		if err := json.Unmarshal(raw, &resi); err != nil {
+			fmt.Fprintf(os.Stderr, "mlquery: -learn %s: %v\n", *learnFrom, err)
+			os.Exit(2)
+		}
+		model, err = model.WithResiduals(&resi)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlquery: -learn %s: %v\n", *learnFrom, err)
+			os.Exit(2)
+		}
+		mInfo.Corrections = model.Corrections()
+		mInfo.LearnedFrom = *learnFrom
 	}
 	var pipeOn bool
 	switch *pipeline {
@@ -265,7 +374,7 @@ func main() {
 	}
 
 	rep := report{
-		Rows: *rows, Parts: *nparts, Machine: m.Name,
+		Rows: *rows, Parts: *nparts, Machine: mInfo,
 		Workers: workers, Pipeline: pipeOn, GoMaxP: runtime.GOMAXPROCS(0),
 	}
 
@@ -275,7 +384,8 @@ func main() {
 
 	for qi, q := range queries {
 		say("=== %s ===\n%s\n\n", q.name, q.sql)
-		b := q.build().On(m).Parallel(workers).Pipeline(pipeOn).GroupStrategy(aggForce)
+		b := q.build().CostModel(&model).Replan(*replanF).
+			Parallel(workers).Pipeline(pipeOn).GroupStrategy(aggForce)
 		plan, err := b.Plan()
 		if err != nil {
 			log.Fatal(err)
@@ -344,8 +454,8 @@ func main() {
 				name string
 				res  *monetlite.QueryResult
 			}{
-				{"serial", mustRun(q.build().On(m).Parallel(1).Pipeline(pipeOn).GroupStrategy(aggForce))},
-				{"materializing", mustRun(q.build().On(m).Parallel(workers).Pipeline(false).GroupStrategy(aggForce))},
+				{"serial", mustRun(q.build().CostModel(&model).Parallel(1).Pipeline(pipeOn).GroupStrategy(aggForce))},
+				{"materializing", mustRun(q.build().CostModel(&model).Parallel(workers).Pipeline(false).GroupStrategy(aggForce))},
 			} {
 				if !reflect.DeepEqual(res.Rel, alt.res.Rel) {
 					failVerify(q.name, alt.name, diffRels(res.Rel, alt.res.Rel))
@@ -362,12 +472,12 @@ func main() {
 			if aggStrategyOf(plan.Explain()) == "" {
 				say("verify: result byte-identical to serial and -pipeline=off runs (no GROUP BY)\n")
 			} else {
-				radix := mustRun(q.build().On(m).Parallel(workers).Pipeline(pipeOn).GroupStrategy("radix"))
-				radixSerialMat := mustRun(q.build().On(m).Parallel(1).Pipeline(false).GroupStrategy("radix"))
+				radix := mustRun(q.build().CostModel(&model).Parallel(workers).Pipeline(pipeOn).GroupStrategy("radix"))
+				radixSerialMat := mustRun(q.build().CostModel(&model).Parallel(1).Pipeline(false).GroupStrategy("radix"))
 				if !reflect.DeepEqual(radix.Rel, radixSerialMat.Rel) {
 					failVerify(q.name, "radix-agg serial materializing", diffRels(radix.Rel, radixSerialMat.Rel))
 				}
-				hash := mustRun(q.build().On(m).Parallel(workers).Pipeline(pipeOn).GroupStrategy("hash"))
+				hash := mustRun(q.build().CostModel(&model).Parallel(workers).Pipeline(pipeOn).GroupStrategy("hash"))
 				if err := equivalentRels(radix.Rel, hash.Rel); err != nil {
 					failVerify(q.name, "hash-agg (vs radix-agg)", err.Error())
 				}
@@ -387,7 +497,7 @@ func main() {
 			st := sim.Stats().Sub(before)
 			say("simulated on %s: %.1f ms (L1 %d, L2 %d, TLB %d misses) vs predicted %.1f ms\n",
 				m.Name, st.ElapsedMillis(), st.L1Misses, st.L2Misses, st.TLBMisses,
-				plan.Predicted().Millis(m))
+				plan.PredictedMillis())
 			simMS := st.ElapsedMillis()
 			l1, l2, tlb := st.L1Misses, st.L2Misses, st.TLBMisses
 			qr.SimMS, qr.SimL1, qr.SimL2, qr.SimTLB = &simMS, &l1, &l2, &tlb
@@ -407,14 +517,15 @@ func main() {
 				qr.Analyze = prof
 			}
 			qr.ResultRows = res.N()
-			qr.PredictedMS = plan.Predicted().Millis(m)
+			qr.PredictedMS = plan.PredictedMillis()
+			qr.PredictionErrorFactor = errorFactor(qr.PredictedMS, nativeMS)
 			qr.BytesPerOp = bpo
 			qr.AllocsPerOp = apo
 			qr.AggStrategy = aggStrategyOf(plan.Explain())
 			if qr.AggStrategy == "radix" {
 				// Record the forced-hash baseline alongside, so one
 				// snapshot holds the radix-vs-hash-partials gap.
-				hp, err := q.build().On(m).Parallel(workers).Pipeline(pipeOn).GroupStrategy("hash").Plan()
+				hp, err := q.build().CostModel(&model).Parallel(workers).Pipeline(pipeOn).GroupStrategy("hash").Plan()
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -465,12 +576,71 @@ func main() {
 		say("wrote cost-model residuals (%d operator kinds) to %s\n", len(residuals.Kinds()), *calibOut)
 	}
 	if *jsonOut {
+		logSum := 0.0
+		n := 0
+		for _, qr := range rep.Queries {
+			if qr.PredictionErrorFactor > 0 {
+				logSum += math.Log(qr.PredictionErrorFactor)
+				n++
+			}
+		}
+		if n > 0 {
+			rep.PredictionErrorGeomean = math.Exp(logSum / float64(n))
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			log.Fatal(err)
 		}
 	}
+}
+
+// errorFactor is how far off a prediction is, direction ignored:
+// max(pred/actual, actual/pred), always ≥ 1; 0 when either side is
+// degenerate.
+func errorFactor(predMS, actualMS float64) float64 {
+	if !(predMS > 0) || !(actualMS > 0) {
+		return 0
+	}
+	if predMS > actualMS {
+		return predMS / actualMS
+	}
+	return actualMS / predMS
+}
+
+// runCalibration is the -calibrate mode: measure the running machine,
+// validate the result against the calibration invariants, persist it
+// where -machine host will find it, and exit.
+func runCalibration(path string, short bool) {
+	if path == "" {
+		path = "monetlite-host.json"
+	}
+	cfg := monetlite.DefaultCalibration()
+	kind := "full"
+	if short {
+		cfg = monetlite.QuickCalibration()
+		kind = "reduced (-calshort)"
+	}
+	fmt.Printf("calibrating this machine (%s sweeps; pointer-chase + stride + TLB probes)...\n", kind)
+	t0 := time.Now()
+	m, _, err := monetlite.Calibrate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := monetlite.CheckCalibration(m); err != nil {
+		log.Fatal(err)
+	}
+	if err := monetlite.SaveMachine(m, path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v:\n", time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("  clock    %.0f MHz\n", m.ClockMHz)
+	fmt.Printf("  L1       %d KB, %d B lines (miss → L2: %.1f ns)\n", m.L1.Size>>10, m.L1.LineSize, m.Cost.LatL2)
+	fmt.Printf("  L2       %d KB, %d B lines (miss → RAM: %.1f ns random, %.1f ns sequential)\n",
+		m.L2.Size>>10, m.L2.LineSize, m.Cost.LatMem, m.Cost.LatMemSeq)
+	fmt.Printf("  TLB      %d entries, %d B pages (miss: %.1f ns)\n", m.TLB.Entries, m.TLB.PageSize, m.Cost.LatTLB)
+	fmt.Printf("  scan     %.2f ns/BUN, %.2f ns/byte\n", m.Cost.WScanBUN, m.Cost.WScanByte)
+	fmt.Printf("wrote %s — `mlquery -machine host` now plans on this profile\n", path)
 }
 
 // failVerify reports one -verify cross-check failure on stderr as a

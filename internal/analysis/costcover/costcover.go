@@ -22,6 +22,14 @@
 //     dynamic label (fmt.Sprintf("%v", ...) or delegation with no
 //     literal at all) would scatter one operator's residuals across
 //     unbounded keys and starve the self-tuning feed.
+//   - no raw pricing: engine code must never price a Breakdown
+//     directly against a machine (Breakdown.Total / Breakdown.Millis).
+//     Raw machine pricing bypasses costmodel.Model and with it the
+//     learned per-operator-kind corrections, so a calibrated host
+//     would plan some decisions on corrected numbers and others on
+//     uncorrected ones. Every pricing site goes through
+//     Model.Nanos/Model.Millis; deliberate raw comparisons (simulator
+//     cross-checks) carry //monet:allow costcover.
 //
 // Adding an operator now fails lint until cost.go, profile.go and the
 // Residuals feed all know about it — exactly the "silent
@@ -59,6 +67,7 @@ func run(pass *framework.Pass) error {
 		return nil
 	}
 	covered := caseTypes(pass.TypesInfo, traffic)
+	checkRawPricing(pass)
 
 	for _, named := range impls {
 		obj := named.Obj()
@@ -71,6 +80,40 @@ func run(pass *framework.Pass) error {
 		checkLabelStability(pass, named)
 	}
 	return nil
+}
+
+// checkRawPricing flags calls that price a costmodel.Breakdown
+// directly against a machine — Breakdown.Total or Breakdown.Millis.
+// Inside the engine every such site must go through costmodel.Model
+// (Nanos/Millis), which applies the learned per-operator-kind
+// corrections on top of the machine's analytical cost; a raw call
+// silently ignores calibration.
+func checkRawPricing(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Total" && sel.Sel.Name != "Millis") {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(sel.X)
+			if t == nil {
+				return true
+			}
+			if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if monet.IsNamed(t, "costmodel", "Breakdown") {
+				pass.Reportf(call.Pos(),
+					"raw Breakdown.%s pricing bypasses costmodel.Model: the learned per-kind corrections never apply at this site; price through Model.Nanos/Model.Millis (or //monet:allow costcover for a deliberate simulator cross-check)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
 }
 
 // findInterface returns the interface type named name declared at

@@ -77,8 +77,33 @@ type adapterOp struct { //monet:allow costcover explain-only adapter, never exec
 func (o *adapterOp) label() string                  { return o.inner.label() }
 func (o *adapterOp) predicted() costmodel.Breakdown { return costmodel.Breakdown{} }
 
+// rawPrice prices operators directly against the machine: both method
+// names of the raw path are flagged — calibration corrections would
+// silently not apply here.
+func rawPrice(op physOp, m costmodel.Machine) float64 {
+	ms := op.predicted().Millis(m) // want "raw Breakdown.Millis pricing bypasses costmodel.Model"
+	ns := op.predicted().Total(m)  // want "raw Breakdown.Total pricing bypasses costmodel.Model"
+	return ms + ns
+}
+
+// rawPriceAllowed mirrors the real simulator cross-check tests:
+// comparing the uncorrected analytical prediction against measured
+// stalls is deliberate, and documented via suppression.
+func rawPriceAllowed(op physOp, m costmodel.Machine) float64 {
+	//monet:allow costcover simulator cross-check compares the raw analytical prediction
+	return op.predicted().Total(m)
+}
+
+// stopwatch has a Millis method of its own: only costmodel.Breakdown
+// receivers are raw pricing.
+type stopwatch struct{ ns float64 }
+
+func (s stopwatch) Millis() float64 { return s.ns / 1e6 }
+
+func elapsed() float64 { return stopwatch{ns: 1e6}.Millis() }
+
 func buildGood(extra string) physOp {
-	g := &goodOp{cost: costmodel.Breakdown{Millis: 1}}
+	g := &goodOp{cost: costmodel.Breakdown{CPUNanos: 1}}
 	d := &dynlabelOp{inner: g}
 	d.cost = g.cost
 	p := &partsLabelOp{extra: extra}

@@ -33,9 +33,10 @@ func chain(n int) []int64 {
 	return newBuf(n)
 }
 
-//monet:kernel
 // cleanKernel appends into the caller's preallocated buffer and calls
 // only pure or kernel callees: no findings.
+//
+//monet:kernel
 func cleanKernel(dst, src []int64) []int64 {
 	for i := range src {
 		dst = append(dst, add(src[i], 1))
@@ -43,16 +44,18 @@ func cleanKernel(dst, src []int64) []int64 {
 	return dst
 }
 
-//monet:kernel
 // kernelCallsKernel: //monet:kernel callees are checked directly, not
 // summarized.
+//
+//monet:kernel
 func kernelCallsKernel(dst, src []int64) []int64 {
 	return cleanKernel(dst, src)
 }
 
-//monet:kernel
 // outOfLoopMakeOK: the amortized allocate-once pattern stays legal
 // (hotalloc's territory, and it allows it out of loops too).
+//
+//monet:kernel
 func outOfLoopMakeOK(n int) []int64 {
 	out := make([]int64, 0, n)
 	for i := 0; i < n; i++ {
@@ -147,9 +150,10 @@ func escapeViaParam(out []*int64, n int64) {
 	out[0] = &x // want "address of local x escapes kernel escapeViaParam through out"
 }
 
-//monet:kernel
 // reassignedAppend: the declaration preallocates, so hotalloc is
 // happy, but the conditional reassignment to nil makes the loop grow.
+//
+//monet:kernel
 func reassignedAppend(src []int64, huge bool) []int64 {
 	dst := make([]int64, 0, 16)
 	if huge {
@@ -161,9 +165,10 @@ func reassignedAppend(src []int64, huge bool) []int64 {
 	return dst
 }
 
-//monet:kernel
 // allowedFanOut: the one-goroutine-per-worker launch is amortized
 // over the batch; the suppression documents it.
+//
+//monet:kernel
 func allowedFanOut(workers int, body func(w int)) {
 	for w := 0; w < workers; w++ {
 		go body(w) //monet:allow kernalloc one goroutine per worker per fan-out, amortized over the batch

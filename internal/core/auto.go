@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"monetlite/internal/costmodel"
 	"monetlite/internal/memsim"
 )
@@ -11,17 +13,34 @@ import (
 // optimizer plays with these formulas.
 func PlanAuto(c int, m memsim.Machine) Plan {
 	model := costmodel.New(m)
+	return PlanAutoModel(c, &model)
+}
+
+// planKind is the residual kind a candidate plan's prediction is
+// corrected under — the same normalization the profiler applies to the
+// executed operator's "Join[<plan>]" label, so a learned "Join[phash]"
+// correction reweighs every partitioned-hash candidate here.
+func planKind(p Plan) string {
+	return costmodel.KindOf(fmt.Sprintf("Join[%s]", p))
+}
+
+// PlanAutoModel is PlanAuto pricing every candidate through the given
+// cost model, so per-kind corrections learned from profiling feeds
+// participate in the strategy choice itself, not just its reported
+// cost.
+func PlanAutoModel(c int, model *costmodel.Model) Plan {
+	m := model.M
 	best := NewPlan(SimpleHash, c, m)
-	bestCost := model.SimpleHashTotal(c).Total(m)
+	bestCost := model.Nanos(planKind(best), model.SimpleHashTotal(c))
 	for _, s := range []Strategy{PhashL2, PhashTLB, PhashL1, Phash256, PhashMin, Radix8, RadixMin} {
 		p := NewPlan(s, c, m)
-		var cost float64
+		var b costmodel.Breakdown
 		if s.UsesRadixJoin() {
-			cost = model.RadixTotal(p.Bits, c).Total(m)
+			b = model.RadixTotal(p.Bits, c)
 		} else {
-			cost = model.PhashTotal(p.Bits, c).Total(m)
+			b = model.PhashTotal(p.Bits, c)
 		}
-		if cost < bestCost {
+		if cost := model.Nanos(planKind(p), b); cost < bestCost {
 			bestCost = cost
 			best = p
 		}

@@ -26,9 +26,17 @@ const TupleBytes = 8
 // bucket-chained hash table, the 12 bytes/tuple of §3.4.4.
 const PhashTupleBytes = 12
 
-// Model evaluates the paper's cost formulas for one machine profile.
+// Model evaluates the paper's cost formulas for one machine profile,
+// optionally corrected per operator kind by a learned residual table
+// (see model.go): the unified pricing layer every cost-consulting
+// component goes through.
 type Model struct {
 	M memsim.Machine
+
+	// corr maps a KindOf-normalized operator kind to the multiplicative
+	// correction its predictions carry (WithResiduals). Nil = the pure
+	// paper formulas.
+	corr map[string]float64
 }
 
 // New returns a model for machine m.

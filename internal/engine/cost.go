@@ -5,19 +5,23 @@ import (
 
 	"monetlite/internal/agg"
 	"monetlite/internal/costmodel"
-	"monetlite/internal/memsim"
 )
 
 // Cost formulas for the physical choices the paper's models do not
 // cover directly, assembled from the same per-event methodology (§2,
 // §3.4): expected L1/L2/TLB miss counts times calibrated latencies
 // plus CPU work. Joins use costmodel's Tc/Tr/Th via core.PredictPlan;
-// the formulas here cover selections, gathers and grouping.
+// the formulas here cover selections, gathers and grouping. Every
+// formula takes the unified *costmodel.Model — the machine geometry
+// and work constants come from model.M, and the planner prices the
+// resulting breakdowns through the model's kind-corrected Nanos/Millis
+// so learned residuals bend the decisions, not just the reports.
 
 // seqBreakdown models a sequential sweep over bytes of memory: one
 // miss per cache line / page, the optimal-locality pattern of a
 // scan-select (§3.2).
-func seqBreakdown(bytes float64, m memsim.Machine) costmodel.Breakdown {
+func seqBreakdown(bytes float64, model *costmodel.Model) costmodel.Breakdown {
+	m := model.M
 	return costmodel.Breakdown{
 		L1Misses:  bytes / float64(m.L1.LineSize),
 		L2Misses:  bytes / float64(m.L2.LineSize),
@@ -31,7 +35,8 @@ func seqBreakdown(bytes float64, m memsim.Machine) costmodel.Breakdown {
 // never more misses than the region has lines (or pages), since a
 // dense access pattern degenerates to a sweep that touches each line
 // once.
-func randomBreakdown(k, footprint float64, m memsim.Machine) costmodel.Breakdown {
+func randomBreakdown(k, footprint float64, model *costmodel.Model) costmodel.Breakdown {
+	m := model.M
 	miss := func(cache, unit float64) float64 {
 		if footprint <= cache {
 			return 0
@@ -57,7 +62,8 @@ func randomBreakdown(k, footprint float64, m memsim.Machine) costmodel.Breakdown
 // cache the line is evicted before its next touch and every probe
 // misses at the capacity rate — §3.2's "each memory reference a cache
 // miss" regime.
-func probeBreakdown(k, footprint float64, m memsim.Machine) costmodel.Breakdown {
+func probeBreakdown(k, footprint float64, model *costmodel.Model) costmodel.Breakdown {
+	m := model.M
 	miss := func(cache float64) float64 {
 		if footprint <= cache {
 			return 0
@@ -73,11 +79,11 @@ func probeBreakdown(k, footprint float64, m memsim.Machine) costmodel.Breakdown 
 
 // scanSelectCost predicts a full-column scan select over n values of
 // the given stored width, writing k qualifying OIDs.
-func scanSelectCost(n int, width int, k float64, m memsim.Machine) costmodel.Breakdown {
-	b := seqBreakdown(float64(n)*float64(width), m)
-	out := seqBreakdown(k*4, m)
+func scanSelectCost(n int, width int, k float64, model *costmodel.Model) costmodel.Breakdown {
+	b := seqBreakdown(float64(n)*float64(width), model)
+	out := seqBreakdown(k*4, model)
 	b = b.Add(out)
-	b.CPUNanos = float64(n)*m.Cost.WScanBUN/4 + k*m.Cost.WScanBUN/4
+	b.CPUNanos = float64(n)*model.M.Cost.WScanBUN/4 + k*model.M.Cost.WScanBUN/4
 	return b
 }
 
@@ -85,8 +91,8 @@ func scanSelectCost(n int, width int, k float64, m memsim.Machine) costmodel.Bre
 // entries: a descent of height ceil(log_f n) — one cache line per
 // level, randomly placed — then a sequential leaf scan of k (key, OID)
 // entries, the k-OID output, and the positional re-sort of the result.
-func cssSelectCost(n int, k float64, m memsim.Machine) costmodel.Breakdown {
-	fanout := float64(m.L1.LineSize / 4)
+func cssSelectCost(n int, k float64, model *costmodel.Model) costmodel.Breakdown {
+	fanout := float64(model.M.L1.LineSize / 4)
 	if fanout < 2 {
 		fanout = 2
 	}
@@ -99,23 +105,23 @@ func cssSelectCost(n int, k float64, m memsim.Machine) costmodel.Breakdown {
 		L2Misses:  height,
 		TLBMisses: height,
 	}
-	leaf := seqBreakdown(k*8, m) // 4-byte key + 4-byte OID per entry
-	out := seqBreakdown(k*4, m)
+	leaf := seqBreakdown(k*8, model) // 4-byte key + 4-byte OID per entry
+	out := seqBreakdown(k*4, model)
 	b = b.Add(leaf).Add(out)
 	lgk := math.Log2(k + 2)
-	b.CPUNanos = height*fanout*m.Cost.WScanBUN/4 + // in-node scans
-		k*m.Cost.WScanBUN/4 + // leaf emit
-		k*lgk*m.Cost.WScanBUN/8 // re-sort to storage order
+	b.CPUNanos = height*fanout*model.M.Cost.WScanBUN/4 + // in-node scans
+		k*model.M.Cost.WScanBUN/4 + // leaf emit
+		k*lgk*model.M.Cost.WScanBUN/8 // re-sort to storage order
 	return b
 }
 
 // refilterCost predicts re-testing a predicate on k already-selected
 // rows of a column spanning footprint bytes: k random gathers plus the
 // OID rewrite.
-func refilterCost(k, footprint float64, m memsim.Machine) costmodel.Breakdown {
-	b := randomBreakdown(k, footprint, m)
-	b = b.Add(seqBreakdown(k*4, m))
-	b.CPUNanos = k * m.Cost.WScanBUN / 2
+func refilterCost(k, footprint float64, model *costmodel.Model) costmodel.Breakdown {
+	b := randomBreakdown(k, footprint, model)
+	b = b.Add(seqBreakdown(k*4, model))
+	b.CPUNanos = k * model.M.Cost.WScanBUN / 2
 	return b
 }
 
@@ -123,10 +129,10 @@ func refilterCost(k, footprint float64, m memsim.Machine) costmodel.Breakdown {
 // column of footprint bytes through an OID list (nil-OID scans become
 // sequential, but the planner conservatively assumes the gather is
 // positional/random), writing the k-value temporary sequentially.
-func gatherCost(k, footprint float64, width int, m memsim.Machine) costmodel.Breakdown {
-	b := randomBreakdown(k, footprint, m)
-	b = b.Add(seqBreakdown(k*float64(width), m))
-	b.CPUNanos = k * m.Cost.WScanBUN / 4
+func gatherCost(k, footprint float64, width int, model *costmodel.Model) costmodel.Breakdown {
+	b := randomBreakdown(k, footprint, model)
+	b = b.Add(seqBreakdown(k*float64(width), model))
+	b.CPUNanos = k * model.M.Cost.WScanBUN / 4
 	return b
 }
 
@@ -137,21 +143,20 @@ func gatherCost(k, footprint float64, width int, m memsim.Machine) costmodel.Bre
 // grouping radix-sorts the (key, row) pairs first — modelled as four
 // 8-bit cluster passes via the §3.4.2 formula — then merges
 // sequentially.
-func groupCost(n int, g float64, useSort bool, m memsim.Machine) costmodel.Breakdown {
-	model := costmodel.New(m)
+func groupCost(n int, g float64, useSort bool, model *costmodel.Model) costmodel.Breakdown {
 	if useSort {
 		b := model.ClusterPass(8, n).Scale(4)
 		// The merge scan re-gathers the measure through the sorted row
 		// index: one random access per tuple over the whole relation.
-		merge := seqBreakdown(float64(n)*8, m).
-			Add(randomBreakdown(float64(n), float64(n)*8, m))
-		merge.CPUNanos = float64(n) * m.Cost.WScanBUN
+		merge := seqBreakdown(float64(n)*8, model).
+			Add(randomBreakdown(float64(n), float64(n)*8, model))
+		merge.CPUNanos = float64(n) * model.M.Cost.WScanBUN
 		return b.Add(merge)
 	}
-	b := probeBreakdown(2*float64(n), g*float64(agg.GroupTableBytesPerGroup), m)
-	in := seqBreakdown(float64(n)*10, m) // key codes + measure
+	b := probeBreakdown(2*float64(n), g*float64(agg.GroupTableBytesPerGroup), model)
+	in := seqBreakdown(float64(n)*10, model) // key codes + measure
 	b = b.Add(in)
-	b.CPUNanos = 2 * float64(n) * m.Cost.WScanBUN
+	b.CPUNanos = 2 * float64(n) * model.M.Cost.WScanBUN
 	return b
 }
 
@@ -165,8 +170,8 @@ const maxAggRadixBits = 16
 // cache-sizing criterion applied to the §3.2 aggregation table. 0
 // means the whole table is already cache-resident and partitioning
 // would be pure overhead.
-func radixBitsFor(g float64, m memsim.Machine) int {
-	budget := float64(m.L1.Size) / 4
+func radixBitsFor(g float64, model *costmodel.Model) int {
+	budget := float64(model.M.L1.Size) / 4
 	bits := 0
 	for g*float64(agg.GroupTableBytesPerGroup)/math.Pow(2, float64(bits)) > budget &&
 		bits < maxAggRadixBits {
@@ -181,14 +186,13 @@ func radixBitsFor(g float64, m memsim.Machine) int {
 // two probes per tuple into a per-partition table of g·48/2^B bytes,
 // which B was chosen to keep inside L1 (so the probe term is ~zero and
 // the cost is the clustering plus one stream over the clustered feed).
-func radixGroupCost(n int, g float64, bits, passes int, m memsim.Machine) costmodel.Breakdown {
-	model := costmodel.New(m)
+func radixGroupCost(n int, g float64, bits, passes int, model *costmodel.Model) costmodel.Breakdown {
 	b := model.ClusterPassBytes(float64(bits)/float64(passes), n, agg.PairBytes).
 		Scale(float64(passes))
 	part := g * float64(agg.GroupTableBytesPerGroup) / math.Pow(2, float64(bits))
-	b = b.Add(probeBreakdown(2*float64(n), part, m))
-	b = b.Add(seqBreakdown(float64(n)*agg.PairBytes, m)) // stream the clustered feed
-	b.CPUNanos += 2 * float64(n) * m.Cost.WScanBUN
+	b = b.Add(probeBreakdown(2*float64(n), part, model))
+	b = b.Add(seqBreakdown(float64(n)*agg.PairBytes, model)) // stream the clustered feed
+	b.CPUNanos += 2 * float64(n) * model.M.Cost.WScanBUN
 	return b
 }
 
@@ -217,9 +221,9 @@ func subClamp(b, saved costmodel.Breakdown) costmodel.Breakdown {
 }
 
 // orderByCost predicts a comparison sort of n keys of the given width.
-func orderByCost(n int, width int, m memsim.Machine) costmodel.Breakdown {
+func orderByCost(n int, width int, model *costmodel.Model) costmodel.Breakdown {
 	lg := math.Log2(float64(n) + 2)
-	b := randomBreakdown(float64(n)*lg/4, float64(n)*float64(width), m)
-	b.CPUNanos = float64(n) * lg * m.Cost.WScanBUN / 4
+	b := randomBreakdown(float64(n)*lg/4, float64(n)*float64(width), model)
+	b.CPUNanos = float64(n) * lg * model.M.Cost.WScanBUN / 4
 	return b
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"monetlite/internal/core"
+	"monetlite/internal/costmodel"
 	"monetlite/internal/dsm"
 	"monetlite/internal/memsim"
 )
@@ -173,18 +174,18 @@ func TestGroupingChoiceAndCostModel(t *testing.T) {
 	if fo.estGroups != 7 {
 		t.Errorf("encoded shipmode key estimated %v groups, want exactly 7 (dictionary size)", fo.estGroups)
 	}
-	m := memsim.Origin2000()
+	model := costmodel.New(memsim.Origin2000())
 	const n = 1 << 18
 	prev := -1.0
 	for _, g := range []float64{7, 1 << 12, 1 << 16, 1 << 18} {
-		c := groupCost(n, g, false, m).Total(m)
+		c := model.Nanos("GroupAggregate[hash]", groupCost(n, g, false, &model))
 		if c < prev {
 			t.Errorf("hash grouping model not monotone in groups: cost(%g) = %.0f < %.0f", g, c, prev)
 		}
 		prev = c
 	}
-	s1 := groupCost(n, 7, true, m).Total(m)
-	s2 := groupCost(n, 1<<18, true, m).Total(m)
+	s1 := model.Nanos("GroupAggregate[sort]", groupCost(n, 7, true, &model))
+	s2 := model.Nanos("GroupAggregate[sort]", groupCost(n, 1<<18, true, &model))
 	if s1 != s2 {
 		t.Errorf("sort grouping model depends on group count: %.0f vs %.0f", s1, s2)
 	}

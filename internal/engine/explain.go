@@ -3,17 +3,21 @@ package engine
 import (
 	"fmt"
 	"strings"
+
+	"monetlite/internal/costmodel"
 )
 
 // Explain renders the physical operator tree with, per operator, the
 // chosen physical algorithm and its cost-model prediction, headed by
 // the plan-wide predicted total — what a Monet EXPLAIN armed with the
-// paper's cost models shows.
+// paper's cost models shows. Predictions are priced through the plan's
+// cost model: when it carries learned per-kind corrections, corrected
+// operators show the factor as "×K learned".
 func (p *PhysicalPlan) Explain() string {
 	var sb strings.Builder
 	total := p.Predicted()
 	fmt.Fprintf(&sb, "plan for %s  (predicted %.2f ms: %.2e L1, %.2e L2, %.2e TLB misses)\n",
-		p.cfg.Machine.Name, total.Millis(p.cfg.Machine),
+		p.cfg.Machine.Name, p.PredictedMillis(),
 		total.L1Misses, total.L2Misses, total.TLBMisses)
 	explainOp(&sb, p, p.root, "", "")
 	return sb.String()
@@ -27,7 +31,12 @@ func explainOp(sb *strings.Builder, p *PhysicalPlan, op physOp, prefix, childPre
 		sb.WriteString(d)
 	}
 	if c := op.predicted(); c != (emptyBreakdown) {
-		fmt.Fprintf(sb, "  [pred %.2f ms]", c.Millis(p.cfg.Machine))
+		kind := costmodel.KindOf(op.label())
+		fmt.Fprintf(sb, "  [pred %.2f ms", p.cfg.Model.Millis(kind, c))
+		if corr := p.cfg.Model.Correction(kind); corr != 1 {
+			fmt.Fprintf(sb, " ×%.2f learned", corr)
+		}
+		sb.WriteString("]")
 	}
 	sb.WriteString("\n")
 	kids := op.kids()

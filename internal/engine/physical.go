@@ -124,8 +124,18 @@ func (f *fragment) rows() int {
 type execCtx struct {
 	sim     *memsim.Sim
 	machine memsim.Machine
+	model   *costmodel.Model
 	opt     core.Options
 	arenas  []*pipeArena // per-worker pipeline scratch, reused across morsels
+
+	// Adaptive re-optimization (maybeReplan): when observed cardinality
+	// at a breaker boundary diverges from the plan-time estimate by
+	// more than replanFactor, the remaining choice is re-costed with
+	// the observed count. 0 disables (Config.NoReplan, simulated runs).
+	// forceGroup carries Config.ForceGroup so a replan respects the
+	// same override the planner did.
+	replanFactor float64
+	forceGroup   string
 
 	// Profiling hooks, both nil unless the run was started by
 	// RunProfiled: prof collects the per-operator stats tree, spans
@@ -631,6 +641,7 @@ type groupAggOp struct {
 	radixPass int         // cluster passes (strat == aggRadix)
 	savedMS   float64     // predicted ms saved vs hash grouping (radix)
 	estGroups float64
+	estRows   int // planner's input-cardinality estimate (replan trigger)
 	par       int // planned native degree of parallelism
 	cost      costmodel.Breakdown
 }
@@ -696,7 +707,14 @@ func (o *groupAggOp) aggInput(ctx *execCtx, in *fragment) ([]int64, []float64, e
 // pipeline's AggFeed sink — funnel through this one function with
 // identical feed arrays, so their aggregates are bit-identical.
 func (o *groupAggOp) finish(ctx *execCtx, keys []int64, vals []float64) (*fragment, error) {
-	res, err := o.group(ctx, keys, vals)
+	choice := groupChoice{strat: o.strat, bits: o.radixBits, passes: o.radixPass}
+	if re, note, ok := o.maybeReplan(ctx, len(keys)); ok {
+		choice = re
+		if ctx.prof != nil {
+			ctx.prof.noteReplan(note)
+		}
+	}
+	res, err := o.group(ctx, keys, vals, choice)
 	if err != nil {
 		return nil, err
 	}
@@ -741,15 +759,18 @@ func (o *groupAggOp) finish(ctx *execCtx, keys []int64, vals []float64) (*fragme
 // accumulates each group in global input order — different association
 // of the same additions (on a single morsel the decompositions
 // coincide and even the sums match bitwise).
-func (o *groupAggOp) group(ctx *execCtx, keys []int64, vals []float64) (*agg.GroupResult, error) {
-	if o.strat == aggRadix {
+// The choice argument is the effective grouping decision: the planner's
+// unless maybeReplan retuned it within the byte-compatibility classes
+// above.
+func (o *groupAggOp) group(ctx *execCtx, keys []int64, vals []float64, choice groupChoice) (*agg.GroupResult, error) {
+	if choice.strat == aggRadix {
 		if ctx.sim != nil {
-			return agg.RadixGroup(ctx.sim, dsm.ShrinkInts(keys), bat.NewF64(vals), o.radixBits, o.radixPass)
+			return agg.RadixGroup(ctx.sim, dsm.ShrinkInts(keys), bat.NewF64(vals), choice.bits, choice.passes)
 		}
-		return radixGroupNative(ctx, keys, vals, o.radixBits, o.radixPass)
+		return radixGroupNative(ctx, keys, vals, choice.bits, choice.passes)
 	}
 	group := agg.HashGroup
-	if o.strat == aggSort {
+	if choice.strat == aggSort {
 		group = agg.SortGroup
 	}
 	n := len(keys)
@@ -760,7 +781,7 @@ func (o *groupAggOp) group(ctx *execCtx, keys []int64, vals []float64) (*agg.Gro
 	partials := make([]*agg.GroupResult, nm)
 	var paPh *OpStats
 	if ctx.prof != nil {
-		paPh = ctx.prof.beginPhase(fmt.Sprintf("partials[%s]", o.strat), fmt.Sprintf("%d morsels", nm))
+		paPh = ctx.prof.beginPhase(fmt.Sprintf("partials[%s]", choice.strat), fmt.Sprintf("%d morsels", nm))
 	}
 	err := ctx.forMorselsErr(n, func(m, lo, hi int) error {
 		p, err := group(nil, dsm.ShrinkInts(keys[lo:hi]), bat.NewF64(vals[lo:hi]))

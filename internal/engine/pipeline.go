@@ -10,7 +10,6 @@ import (
 	"monetlite/internal/core"
 	"monetlite/internal/costmodel"
 	"monetlite/internal/dsm"
-	"monetlite/internal/memsim"
 )
 
 // Fused, cache-resident pipelines: instead of executing one fully
@@ -66,7 +65,7 @@ type pipelineOp struct {
 	estOut  float64 // estimated fraction of base rows surviving all filters
 	par     int     // planned native degree of parallelism
 
-	machine    memsim.Machine
+	model      *costmodel.Model
 	stages     []physOp // explain adapters, in execution order
 	savedBytes float64  // predicted intermediate traffic not spent
 	cost       costmodel.Breakdown
@@ -128,7 +127,7 @@ func fmtBytes(b float64) string {
 //monet:allow costcover explain-only adapter: exec() always errors and the enclosing pipelineOp accounts the fused traffic exactly once
 type pipeStageOp struct {
 	inner physOp
-	m     memsim.Machine
+	model *costmodel.Model
 }
 
 func (s *pipeStageOp) exec(*execCtx) (*fragment, error) {
@@ -138,7 +137,8 @@ func (s *pipeStageOp) label() string { return s.inner.label() }
 func (s *pipeStageOp) detail() string {
 	d := s.inner.detail()
 	if c := s.inner.predicted(); c != emptyBreakdown {
-		d = fmt.Sprintf("%s  [stage pred %.2f ms]", d, c.Millis(s.m))
+		kind := costmodel.KindOf(s.inner.label())
+		d = fmt.Sprintf("%s  [stage pred %.2f ms]", d, s.model.Millis(kind, c))
 	}
 	return d
 }
@@ -279,14 +279,14 @@ walk:
 		proj:    proj,
 		gagg:    gagg,
 		limitN:  limitN,
-		machine: cfg.Machine,
+		model:   cfg.Model,
 		par:     planPar(cfg, float64(scan.t.N)),
 	}
 	p.estOut = 1
 	for _, f := range filters {
 		p.estOut *= f.est
 	}
-	p.vecRows = vecRowsFor(cfg.Machine, p.rowFootprint())
+	p.vecRows = vecRowsFor(cfg.Model, p.rowFootprint())
 	p.savedBytes = p.savedTraffic()
 	var sum costmodel.Breakdown
 	var stages []physOp
@@ -296,11 +296,11 @@ walk:
 			collect(k)
 		}
 		sum = sum.Add(c.predicted())
-		stages = append(stages, &pipeStageOp{inner: c, m: cfg.Machine})
+		stages = append(stages, &pipeStageOp{inner: c, model: cfg.Model})
 	}
 	collect(op)
 	p.stages = stages
-	p.cost = subClamp(sum, p.savedBreakdown(cfg.Machine))
+	p.cost = subClamp(sum, p.savedBreakdown(cfg.Model))
 	return p
 }
 
@@ -313,17 +313,17 @@ walk:
 // implementation-level byte count (lists are also read back, position
 // lists materialize, …), but subtracting that would erase misses the
 // models never predicted.
-func (o *pipelineOp) savedBreakdown(m memsim.Machine) costmodel.Breakdown {
+func (o *pipelineOp) savedBreakdown(model *costmodel.Model) costmodel.Breakdown {
 	k := float64(o.t.N)
 	var saved costmodel.Breakdown
 	for i, f := range o.filters {
 		k *= f.est
 		if i < len(o.filters)-1 || o.proj != nil || o.gagg != nil {
-			saved = saved.Add(seqBreakdown(4*k, m))
+			saved = saved.Add(seqBreakdown(4*k, model))
 		}
 	}
 	if o.gagg != nil {
-		saved = saved.Add(seqBreakdown(8*k, m).Scale(float64(len(o.gagg.operands))))
+		saved = saved.Add(seqBreakdown(8*k, model).Scale(float64(len(o.gagg.operands))))
 	}
 	return saved
 }
@@ -359,11 +359,11 @@ func (o *pipelineOp) rowFootprint() int {
 // occupies at most a quarter of L2 — leaving room for the streamed
 // base columns and, under a GroupAggregate sink, the aggregation hash
 // table (§3.2's cache-resident regime).
-func vecRowsFor(m memsim.Machine, rowBytes int) int {
+func vecRowsFor(model *costmodel.Model, rowBytes int) int {
 	if rowBytes < 12 {
 		rowBytes = 12
 	}
-	budget := m.L2.Size / 4
+	budget := model.M.L2.Size / 4
 	v := budget / rowBytes
 	// Round down to a power of two, clamped to [256, 64K].
 	p := 256

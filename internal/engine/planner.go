@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"monetlite/internal/bat"
@@ -16,7 +17,15 @@ type Config struct {
 	// Machine is the profile whose cost models drive physical choices
 	// (and whose simulator instruments Run, when given one). The zero
 	// value means the Origin2000, the paper's experimental platform.
+	// Ignored when Model is set — the model's machine wins.
 	Machine memsim.Machine
+	// Model prices every cost-model consultation: the machine profile
+	// plus any per-operator-kind corrections learned from profiling
+	// feeds (costmodel.Model.WithResiduals). Nil means an uncorrected
+	// model over Machine. When set, its embedded machine overrides
+	// Machine, so a calibrated + learned model changes both the
+	// formulas' inputs and how their outputs are weighed.
+	Model *costmodel.Model
 	// Opt tunes the native parallel execution engine for the whole
 	// operator tree: selects, refilters, gathers, joins and
 	// group-aggregates all split their inputs into morsels and fan
@@ -37,6 +46,18 @@ type Config struct {
 	// strategy cross-check tests); "" keeps the cost-model decision.
 	// Results are byte-identical whichever strategy runs.
 	ForceGroup string
+	// ReplanFactor configures adaptive re-optimization at breaker
+	// boundaries: when the observed cardinality entering a
+	// GroupAggregate materialization diverges from the planner's
+	// estimate by more than this factor (in either direction), the
+	// grouping choice is re-costed with the observed count — within the
+	// byte-identical strategy classes (see maybeReplan). 0 means the
+	// default factor 4; values must exceed 1. Results are always
+	// byte-identical to the non-adaptive plan.
+	ReplanFactor float64
+	// NoReplan disables adaptive re-optimization entirely (the A/B
+	// lever behind mlquery's -replan=0).
+	NoReplan bool
 }
 
 func (c Config) machine() memsim.Machine {
@@ -45,6 +66,13 @@ func (c Config) machine() memsim.Machine {
 	}
 	return c.Machine
 }
+
+// defaultReplanFactor is the divergence (×/÷) between estimated and
+// observed cardinality beyond which a breaker boundary re-costs the
+// remaining choice. 4 keeps ordinary estimation noise (uniformity
+// assumptions, hit-rate-one joins) from churning plans while catching
+// the order-of-magnitude misses that flip algorithm choices.
+const defaultReplanFactor = 4.0
 
 // PhysicalPlan is a lowered, executable plan.
 type PhysicalPlan struct {
@@ -57,11 +85,23 @@ type PhysicalPlan struct {
 // unless Config.NoPipeline — fuses maximal non-breaking operator
 // chains into cache-resident pipelines.
 func Plan(root Node, cfg Config) (*PhysicalPlan, error) {
-	cfg.Machine = cfg.machine()
+	if cfg.Model != nil {
+		cfg.Machine = cfg.Model.M
+	} else {
+		cfg.Machine = cfg.machine()
+		m := costmodel.New(cfg.Machine)
+		cfg.Model = &m
+	}
 	switch cfg.ForceGroup {
 	case "", "hash", "sort", "radix":
 	default:
 		return nil, fmt.Errorf("engine: unknown grouping strategy %q (want hash, sort or radix)", cfg.ForceGroup)
+	}
+	if cfg.ReplanFactor == 0 {
+		cfg.ReplanFactor = defaultReplanFactor
+	}
+	if cfg.ReplanFactor <= 1 {
+		return nil, fmt.Errorf("engine: replan factor %g must exceed 1", cfg.ReplanFactor)
 	}
 	op, _, err := lower(root, cfg)
 	if err != nil {
@@ -106,8 +146,32 @@ func (p *PhysicalPlan) Predicted() costmodel.Breakdown {
 	return sum
 }
 
+// PredictedMillis prices the whole plan through the model: each
+// operator's breakdown is charged at its kind's learned correction and
+// the corrected milliseconds summed. This — not Predicted().Millis —
+// is the number a self-tuned model reports (and what mlquery compares
+// against wall-clock time).
+func (p *PhysicalPlan) PredictedMillis() float64 {
+	var sum float64
+	var walk func(op physOp)
+	walk = func(op physOp) {
+		if c := op.predicted(); c != (emptyBreakdown) {
+			sum += p.cfg.Model.Millis(costmodel.KindOf(op.label()), c)
+		}
+		for _, k := range op.kids() {
+			walk(k)
+		}
+	}
+	walk(p.root)
+	return sum
+}
+
 // Machine returns the machine profile the plan was costed for.
 func (p *PhysicalPlan) Machine() memsim.Machine { return p.cfg.Machine }
+
+// Model returns the cost model (machine + learned corrections) the
+// plan was costed with.
+func (p *PhysicalPlan) Model() *costmodel.Model { return p.cfg.Model }
 
 // Run executes the plan. Natively (nil sim), fused chains execute as
 // cache-resident pipelines (vector-at-a-time through per-worker
@@ -131,11 +195,19 @@ func (p *PhysicalPlan) RunProfiled(sim *memsim.Sim) (*Result, error) {
 }
 
 func (p *PhysicalPlan) run(sim *memsim.Sim, profile bool) (*Result, error) {
-	ctx := &execCtx{sim: sim, machine: p.cfg.Machine, opt: p.cfg.Opt}
+	ctx := &execCtx{sim: sim, machine: p.cfg.Machine, model: p.cfg.Model,
+		opt: p.cfg.Opt, forceGroup: p.cfg.ForceGroup}
 	if sim != nil {
 		ctx.opt = core.Serial()
 	} else {
 		ctx.arenas = make([]*pipeArena, ctx.opt.Workers())
+	}
+	if !p.cfg.NoReplan && sim == nil {
+		// Adaptive re-optimization: breaker boundaries may re-cost the
+		// remaining choice against observed cardinalities. Simulated
+		// runs pin the planned strategies so predicted and simulated
+		// cost describe the same algorithm.
+		ctx.replanFactor = p.cfg.ReplanFactor
 	}
 	var prof *Profile
 	if profile {
@@ -143,7 +215,7 @@ func (p *PhysicalPlan) run(sim *memsim.Sim, profile bool) (*Result, error) {
 		if sim == nil {
 			workers = ctx.opt.Workers()
 		}
-		prof = newProfile(p.cfg.Machine, workers)
+		prof = newProfile(p.cfg.Model, workers)
 		ctx.prof, ctx.spans = prof, prof.rec
 	}
 	frag, err := ctx.exec(p.root)
@@ -276,7 +348,7 @@ func (s *shape) resolveMat(name string) (int, error) {
 // Lowering.
 
 func lower(n Node, cfg Config) (physOp, *shape, error) {
-	m := cfg.Machine
+	model := cfg.Model
 	switch x := n.(type) {
 	case *ScanNode:
 		if x.Table == nil {
@@ -316,7 +388,7 @@ func lower(n Node, cfg Config) (physOp, *shape, error) {
 				}
 				op.cols = append(op.cols, projCol{name: name, bindIdx: bi, col: c})
 				out.mat = append(out.mat, matCol{name: name, kind: colKind(c)})
-				op.cost = op.cost.Add(gatherCost(s.rows, columnBytes(c), c.Width(), m))
+				op.cost = op.cost.Add(gatherCost(s.rows, columnBytes(c), c.Width(), model))
 			}
 		}
 		op.par = planPar(cfg, s.rows)
@@ -343,7 +415,7 @@ func lower(n Node, cfg Config) (physOp, *shape, error) {
 			op.bindIdx, op.col = bi, c
 			width = c.Width()
 		}
-		op.cost = orderByCost(int(s.rows), width, m)
+		op.cost = orderByCost(int(s.rows), width, model)
 		return op, s, nil
 
 	case *LimitNode:
@@ -368,7 +440,7 @@ func lower(n Node, cfg Config) (physOp, *shape, error) {
 // scan-select and a CSS-tree range select; above anything else the
 // predicate becomes a positional refilter.
 func lowerSelect(x *SelectNode, cfg Config) (physOp, *shape, error) {
-	m := cfg.Machine
+	model := cfg.Model
 	in, s, err := lower(x.Input, cfg)
 	if err != nil {
 		return nil, nil, err
@@ -387,18 +459,18 @@ func lowerSelect(x *SelectNode, cfg Config) (physOp, *shape, error) {
 	if _, isScan := in.(*scanOp); !isScan {
 		op := &refilterOp{in: in, bindIdx: bi, col: c, pred: x.Pred, est: frac,
 			par:  planPar(cfg, s.rows),
-			cost: refilterCost(s.rows, columnBytes(c), m)}
+			cost: refilterCost(s.rows, columnBytes(c), model)}
 		return op, out, nil
 	}
 
 	n := c.Vec.Len()
 	k := float64(n) * frac
-	scanCost := scanSelectCost(n, c.Width(), k, m)
+	scanCost := scanSelectCost(n, c.Width(), k, model)
 
 	rp, isRange := x.Pred.(RangePred)
 	if isRange && indexableI32(c) && rangeInI32(rp) {
-		cssCost := cssSelectCost(n, k, m)
-		if cssCost.Total(m) < scanCost.Total(m) {
+		cssCost := cssSelectCost(n, k, model)
+		if model.Nanos("Select[csstree]", cssCost) < model.Nanos("Select[scan]", scanCost) {
 			return &selectCSSOp{in: in, col: c, pred: rp, est: frac, cost: cssCost}, out, nil
 		}
 	}
@@ -483,7 +555,7 @@ func colKind(c *dsm.Column) Kind {
 // §3.4.4 machinery (core.PlanAuto over the paper's cost models) at the
 // estimated operand cardinality.
 func lowerJoin(x *JoinNode, cfg Config) (physOp, *shape, error) {
-	m := cfg.Machine
+	model := cfg.Model
 	l, ls, err := lower(x.Left, cfg)
 	if err != nil {
 		return nil, nil, err
@@ -520,10 +592,10 @@ func lowerJoin(x *JoinNode, cfg Config) (physOp, *shape, error) {
 	if card < 1 {
 		card = 1
 	}
-	plan := core.PlanAuto(card, m)
-	cost := core.PredictPlan(plan, card, m).
-		Add(gatherCost(ls.rows, columnBytes(lc), 8, m)).
-		Add(gatherCost(rs.rows, columnBytes(rc), 8, m))
+	plan := core.PlanAutoModel(card, model)
+	cost := core.PredictPlan(plan, card, model.M).
+		Add(gatherCost(ls.rows, columnBytes(lc), 8, model)).
+		Add(gatherCost(rs.rows, columnBytes(rc), 8, model))
 	op := &joinOp{
 		left: l, right: r,
 		leftIdx: li, rightIdx: ri,
@@ -538,53 +610,78 @@ func lowerJoin(x *JoinNode, cfg Config) (physOp, *shape, error) {
 	return op, out, nil
 }
 
-// chooseGrouping resolves the grouping algorithm for a GroupAggregate
-// over n tuples with g estimated groups (§3.2 extended): hash while
-// the ~48 bytes/group table stays cache-resident, sort/merge if its
-// flat cost undercuts that, and radix-partitioned aggregation once the
-// table outgrows the caches — cluster the feed on radixBitsFor(g) low
-// key bits (cost-modelled cluster passes + now-cache-resident probes)
-// so each partition's table fits a quarter of L1. Config.ForceGroup
-// overrides the comparison; a forced radix floors the bit count at 1
-// so the partitioning machinery genuinely runs. Config.ForceGroup was
+// groupChoice is a fully resolved grouping decision: the algorithm
+// plus its radix tuning and predicted cost. costGrouping computes it;
+// plan-time lowering and the adaptive replan at the breaker boundary
+// (maybeReplan) both go through it, so the two decisions agree
+// whenever the cardinalities do.
+type groupChoice struct {
+	strat   aggStrategy
+	bits    int
+	passes  int
+	cost    costmodel.Breakdown
+	savedMS float64 // predicted hash-minus-radix saving (radix only)
+}
+
+// costGrouping resolves the grouping algorithm for n tuples with g
+// estimated groups (§3.2 extended): hash while the ~48 bytes/group
+// table stays cache-resident, sort/merge if its flat cost undercuts
+// that, and radix-partitioned aggregation once the table outgrows the
+// caches — cluster the feed on radixBitsFor(g) low key bits
+// (cost-modelled cluster passes + now-cache-resident probes) so each
+// partition's table fits a quarter of L1. The three candidates are
+// priced through the model under their own kinds, so a learned
+// "GroupAggregate[radix]" correction reweighs the comparison. force
+// ("hash"/"sort"/"radix") overrides it; a forced radix floors the bit
+// count at 1 so the partitioning machinery genuinely runs. force was
 // already validated by Plan — the one validation point — so every
 // non-forcing value means the cost-based choice here.
-func chooseGrouping(op *groupAggOp, n int, g float64, cfg Config) {
-	m := cfg.Machine
-	bits := radixBitsFor(g, m)
-	passes := core.OptimalPasses(bits, m)
-	hash := groupCost(n, g, false, m)
-	sortc := groupCost(n, g, true, m)
+func costGrouping(n int, g float64, force string, model *costmodel.Model) groupChoice {
+	bits := radixBitsFor(g, model)
+	passes := core.OptimalPasses(bits, model.M)
+	hash := groupCost(n, g, false, model)
+	sortc := groupCost(n, g, true, model)
+	hashN := model.Nanos("GroupAggregate[hash]", hash)
+	sortN := model.Nanos("GroupAggregate[sort]", sortc)
 	var radix costmodel.Breakdown
+	radixN := math.Inf(1)
 	if bits > 0 {
-		radix = radixGroupCost(n, g, bits, passes, m)
+		radix = radixGroupCost(n, g, bits, passes, model)
+		radixN = model.Nanos("GroupAggregate[radix]", radix)
 	}
-	setRadix := func() {
+	mkRadix := func() groupChoice {
 		if bits == 0 {
 			bits, passes = 1, 1
-			radix = radixGroupCost(n, g, bits, passes, m)
+			radix = radixGroupCost(n, g, bits, passes, model)
+			radixN = model.Nanos("GroupAggregate[radix]", radix)
 		}
-		op.strat, op.radixBits, op.radixPass = aggRadix, bits, passes
-		op.cost = radix
-		op.savedMS = (hash.Total(m) - radix.Total(m)) / 1e6
+		return groupChoice{strat: aggRadix, bits: bits, passes: passes,
+			cost: radix, savedMS: (hashN - radixN) / 1e6}
 	}
-	switch cfg.ForceGroup {
+	switch force {
 	case "hash":
-		op.strat, op.cost = aggHash, hash
+		return groupChoice{strat: aggHash, cost: hash}
 	case "sort":
-		op.strat, op.cost = aggSort, sortc
+		return groupChoice{strat: aggSort, cost: sortc}
 	case "radix":
-		setRadix()
+		return mkRadix()
 	default:
 		switch {
-		case bits > 0 && radix.Total(m) < hash.Total(m) && radix.Total(m) < sortc.Total(m):
-			setRadix()
-		case sortc.Total(m) < hash.Total(m):
-			op.strat, op.cost = aggSort, sortc
+		case bits > 0 && radixN < hashN && radixN < sortN:
+			return mkRadix()
+		case sortN < hashN:
+			return groupChoice{strat: aggSort, cost: sortc}
 		default:
-			op.strat, op.cost = aggHash, hash
+			return groupChoice{strat: aggHash, cost: hash}
 		}
 	}
+}
+
+// chooseGrouping applies costGrouping's decision to the operator.
+func chooseGrouping(op *groupAggOp, n int, g float64, cfg Config) {
+	c := costGrouping(n, g, cfg.ForceGroup, cfg.Model)
+	op.strat, op.radixBits, op.radixPass = c.strat, c.bits, c.passes
+	op.cost, op.savedMS = c.cost, c.savedMS
 }
 
 // qualify prints a column name with its table when helpful.
@@ -598,7 +695,7 @@ func qualify(s *shape, bindIdx int, name string) string {
 // lowerGroupAgg picks the grouping algorithm (§3.2): hash while the
 // per-group state fits the memory caches, sort/merge beyond.
 func lowerGroupAgg(x *GroupAggNode, cfg Config) (physOp, *shape, error) {
-	m := cfg.Machine
+	model := cfg.Model
 	in, s, err := lower(x.Input, cfg)
 	if err != nil {
 		return nil, nil, err
@@ -642,10 +739,11 @@ func lowerGroupAgg(x *GroupAggNode, cfg Config) (physOp, *shape, error) {
 			return nil, nil, fmt.Errorf("engine: measure column %q is %v, want numeric", name, c.Def.Type)
 		}
 		op.operands[idx] = opCol{bindIdx: bi, col: c, name: name}
-		gather = gather.Add(gatherCost(s.rows, columnBytes(c), 8, m))
+		gather = gather.Add(gatherCost(s.rows, columnBytes(c), 8, model))
 	}
 	g := estimateGroups(kc)
 	op.estGroups = g
+	op.estRows = int(s.rows)
 	chooseGrouping(op, int(s.rows), g, cfg)
 	op.cost = op.cost.Add(gather)
 	keyKind := KInt

@@ -8,7 +8,6 @@ import (
 
 	"monetlite/internal/core"
 	"monetlite/internal/costmodel"
-	"monetlite/internal/memsim"
 )
 
 // Execution profiling (EXPLAIN ANALYZE): a profiled run collects, per
@@ -39,10 +38,10 @@ type Profile struct {
 	// tasks), ordered by start time — the trace-export feed.
 	Spans []core.Span `json:"-"`
 
-	machine memsim.Machine
-	rec     *core.SpanRecorder
-	nodes   []*OpStats // index == span tag
-	stack   []*OpStats // stack[0] is the sentinel
+	model *costmodel.Model
+	rec   *core.SpanRecorder
+	nodes []*OpStats // index == span tag
+	stack []*OpStats // stack[0] is the sentinel
 }
 
 // OpStats is one profiled node: a physical operator, a fused pipeline
@@ -52,22 +51,25 @@ type Profile struct {
 // (BytesRead/BytesWritten) is the node's own, in cost-model width
 // units — sum a subtree for inclusive traffic.
 type OpStats struct {
-	Op           string     `json:"op"`
-	Detail       string     `json:"detail,omitempty"`
-	Phase        bool       `json:"phase,omitempty"` // stage/phase node, not a plan operator
-	PredictedMS  float64    `json:"predicted_ms,omitempty"`
-	PredRatio    float64    `json:"pred_ratio,omitempty"` // actual/predicted
-	ActualMS     float64    `json:"actual_ms"`
-	SelfMS       float64    `json:"self_ms"`
-	InRows       int64      `json:"in_rows"`
-	OutRows      int64      `json:"out_rows"`
-	BytesRead    int64      `json:"bytes_read"`
-	BytesWritten int64      `json:"bytes_written"`
-	AllocBytes   int64      `json:"alloc_bytes,omitempty"`
-	Allocs       int64      `json:"allocs,omitempty"`
-	Morsels      int        `json:"morsels,omitempty"`
-	WorkerBusyMS []float64  `json:"worker_busy_ms,omitempty"`
-	Kids         []*OpStats `json:"kids,omitempty"`
+	Op           string    `json:"op"`
+	Detail       string    `json:"detail,omitempty"`
+	Phase        bool      `json:"phase,omitempty"` // stage/phase node, not a plan operator
+	PredictedMS  float64   `json:"predicted_ms,omitempty"`
+	PredRatio    float64   `json:"pred_ratio,omitempty"` // actual/predicted
+	ActualMS     float64   `json:"actual_ms"`
+	SelfMS       float64   `json:"self_ms"`
+	InRows       int64     `json:"in_rows"`
+	OutRows      int64     `json:"out_rows"`
+	BytesRead    int64     `json:"bytes_read"`
+	BytesWritten int64     `json:"bytes_written"`
+	AllocBytes   int64     `json:"alloc_bytes,omitempty"`
+	Allocs       int64     `json:"allocs,omitempty"`
+	Morsels      int       `json:"morsels,omitempty"`
+	WorkerBusyMS []float64 `json:"worker_busy_ms,omitempty"`
+	// Replanned records an adaptive re-optimization taken while this
+	// operator ran: "replanned at <op>: est=N obs=M (...)."
+	Replanned string     `json:"replanned,omitempty"`
+	Kids      []*OpStats `json:"kids,omitempty"`
 
 	tag      int
 	startNS  int64
@@ -76,15 +78,15 @@ type OpStats struct {
 	outBinds int    // bindings in the output fragment (OID-list width accounting)
 }
 
-func newProfile(m memsim.Machine, workers int) *Profile {
+func newProfile(model *costmodel.Model, workers int) *Profile {
 	if workers < 1 {
 		workers = 1
 	}
 	sentinel := &OpStats{Op: "query", Phase: true}
 	p := &Profile{
-		Machine: m.Name,
+		Machine: model.M.Name,
 		Workers: workers,
-		machine: m,
+		model:   model,
 		rec:     core.NewSpanRecorder(workers),
 		nodes:   []*OpStats{sentinel},
 		stack:   []*OpStats{sentinel},
@@ -106,7 +108,7 @@ func (ctx *execCtx) exec(op physOp) (*fragment, error) {
 // deltas, with child executions nesting into the stats tree.
 func (p *Profile) execOp(ctx *execCtx, op physOp) (*fragment, error) {
 	node := p.push(op.label(), op.detail(), op)
-	node.PredictedMS = op.predicted().Millis(p.machine)
+	node.PredictedMS = p.model.Millis(costmodel.KindOf(op.label()), op.predicted())
 	var m0 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	node.startNS = p.rec.Clock()
@@ -291,30 +293,24 @@ func (p *Profile) opTraffic(n *OpStats) {
 	}
 }
 
-// kindOf normalizes an operator label to its calibration kind:
-// algorithm parameters (radix bits, join plan shape) are stripped, the
-// algorithm name kept — "GroupAggregate[radix bits=10]" →
-// "GroupAggregate[radix]", "Join[phash (B=8, P=2)]" → "Join[phash]".
-func kindOf(label string) string {
-	base, inner, ok := strings.Cut(label, "[")
-	if !ok {
-		return label
-	}
-	inner = strings.TrimSuffix(inner, "]")
-	if f := strings.Fields(inner); len(f) > 0 {
-		inner = f[0]
-	}
-	return base + "[" + inner + "]"
+// noteReplan records an adaptive re-optimization on the operator
+// currently executing — EXPLAIN ANALYZE's "replanned at" annotation.
+// Serial use only, like push/pop: replan decisions happen on the
+// coordinating goroutine at materialization boundaries.
+func (p *Profile) noteReplan(msg string) {
+	p.stack[len(p.stack)-1].Replanned = msg
 }
 
 // Residuals folds this profile's per-operator predicted-vs-actual
 // pairs into the accumulator — the calibration feed. Only real plan
-// operators with a cost-model prediction contribute.
+// operators with a cost-model prediction contribute. Kinds are
+// normalized with costmodel.KindOf, the same labels model corrections
+// are keyed by.
 func (p *Profile) Residuals(acc *costmodel.Residuals) {
 	var walk func(n *OpStats)
 	walk = func(n *OpStats) {
 		if !n.Phase && n.PredictedMS > 0 {
-			acc.Observe(kindOf(n.Op), n.PredictedMS, n.ActualMS)
+			acc.Observe(costmodel.KindOf(n.Op), n.PredictedMS, n.ActualMS)
 		}
 		for _, k := range n.Kids {
 			walk(k)
@@ -369,6 +365,9 @@ func (p *Profile) annotate(n *OpStats) string {
 	}
 	if n.PredictedMS > 0 && n.PredRatio > 0 {
 		fmt.Fprintf(&sb, " (pred %.2fms ×%.2g off)", n.PredictedMS, n.PredRatio)
+	}
+	if n.Replanned != "" {
+		fmt.Fprintf(&sb, " %s", n.Replanned)
 	}
 	sb.WriteString("]")
 	return sb.String()

@@ -264,8 +264,8 @@ func TestKindOf(t *testing.T) {
 		"GroupAggregate[hash ~7 groups]": "GroupAggregate[hash]",
 	}
 	for in, want := range cases {
-		if got := kindOf(in); got != want {
-			t.Errorf("kindOf(%q) = %q, want %q", in, got, want)
+		if got := costmodel.KindOf(in); got != want {
+			t.Errorf("KindOf(%q) = %q, want %q", in, got, want)
 		}
 	}
 }

@@ -1,0 +1,98 @@
+package memsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Host-calibrated machine profiles: internal/calibrate measures the
+// real machine and persists the result as a JSON Machine file; this
+// file resolves it again. The profile is addressed as
+// MachineByName("host") everywhere a canned Figure-3 name works, so a
+// calibration taken once (mlquery -calibrate) silently upgrades every
+// later run on the same box.
+
+// HostName is the profile name calibrated host machines carry and the
+// name MachineByName resolves through the calibration-file search
+// path.
+const HostName = "host"
+
+// HostFileEnv names the environment variable that, when set, pins the
+// calibration file location — first in the search path. Tests point it
+// at the committed fixture so CI never measures its own hardware.
+const HostFileEnv = "MONETLITE_CALIBRATION"
+
+// hostFileName is the calibration file's base name in the working
+// directory and the per-user config directory.
+const hostFileName = "monetlite-host.json"
+
+// HostSearchPath lists the locations LoadHost probes, in order: the
+// $MONETLITE_CALIBRATION override, ./monetlite-host.json, then
+// <user-config-dir>/monetlite/monetlite-host.json. Entries that cannot
+// be determined (no config dir) are omitted.
+func HostSearchPath() []string {
+	var paths []string
+	if p := os.Getenv(HostFileEnv); p != "" {
+		paths = append(paths, p)
+	}
+	paths = append(paths, hostFileName)
+	if dir, err := os.UserConfigDir(); err == nil {
+		paths = append(paths, filepath.Join(dir, "monetlite", hostFileName))
+	}
+	return paths
+}
+
+// LoadMachineFile reads and validates one machine profile from a JSON
+// file written by SaveMachineFile (or by hand).
+func LoadMachineFile(path string) (Machine, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Machine{}, err
+	}
+	var m Machine
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Machine{}, fmt.Errorf("memsim: %s: %w", path, err)
+	}
+	if m.Name == "" {
+		m.Name = HostName
+	}
+	if err := m.Validate(); err != nil {
+		return Machine{}, fmt.Errorf("memsim: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// SaveMachineFile persists a machine profile as indented JSON —
+// deterministic (fixed field order, no maps), so calibrate's
+// round-trip tests can compare bytes.
+func SaveMachineFile(m Machine, path string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadHost resolves the calibrated host profile through HostSearchPath,
+// returning the profile and the path it came from. A file that exists
+// but fails to parse or validate is an error (a broken calibration
+// must not silently degrade to a canned profile); absent files mean
+// (Machine{}, "", os.ErrNotExist).
+func LoadHost() (Machine, string, error) {
+	for _, p := range HostSearchPath() {
+		if _, err := os.Stat(p); err != nil {
+			continue
+		}
+		m, err := LoadMachineFile(p)
+		if err != nil {
+			return Machine{}, p, err
+		}
+		return m, p, nil
+	}
+	return Machine{}, "", os.ErrNotExist
+}

@@ -1,6 +1,10 @@
 package memsim
 
-import "fmt"
+import (
+	"fmt"
+	"os"
+	"strings"
+)
 
 // CostParams holds the calibrated per-event costs of a machine, in
 // nanoseconds. The Origin2000 values are the paper's own calibration
@@ -192,12 +196,41 @@ func Machines() []Machine {
 	return []Machine{Origin2000(), Sun450(), Ultra(), SunLX()}
 }
 
-// MachineByName resolves a profile by its Figure-3 legend name.
+// MachineNames lists every resolvable profile name: the Figure-3 set,
+// the modern extension profile, and the calibrated "host" entry.
+func MachineNames() []string {
+	names := make([]string, 0, 6)
+	for _, m := range append(Machines(), Modern()) {
+		names = append(names, m.Name)
+	}
+	return append(names, HostName)
+}
+
+// MachineByName resolves a profile by its Figure-3 legend name, or the
+// special "host" name: the calibrated profile from the calibration-file
+// search path (see HostSearchPath). When no calibration file exists,
+// "host" falls back to the modern canned profile with a warning on
+// stderr — run `mlquery -calibrate` to measure the real machine.
 func MachineByName(name string) (Machine, error) {
+	if name == HostName {
+		m, path, err := LoadHost()
+		if err == nil {
+			return m, nil
+		}
+		if path != "" {
+			return Machine{}, fmt.Errorf("memsim: calibration file %s: %w", path, err)
+		}
+		fallback := Modern()
+		fmt.Fprintf(os.Stderr,
+			"memsim: no calibration file found (searched %s); machine %q falls back to canned profile %q — run mlquery -calibrate\n",
+			strings.Join(HostSearchPath(), ", "), HostName, fallback.Name)
+		return fallback, nil
+	}
 	for _, m := range append(Machines(), Modern()) {
 		if m.Name == name {
 			return m, nil
 		}
 	}
-	return Machine{}, fmt.Errorf("memsim: unknown machine %q", name)
+	return Machine{}, fmt.Errorf("memsim: unknown machine %q (available: %s)",
+		name, strings.Join(MachineNames(), ", "))
 }

@@ -28,6 +28,7 @@ package monetlite
 
 import (
 	"monetlite/internal/bat"
+	"monetlite/internal/calibrate"
 	"monetlite/internal/core"
 	"monetlite/internal/costmodel"
 	"monetlite/internal/experiments"
@@ -71,8 +72,56 @@ var (
 // Machines returns the Figure-3 machine set, newest first.
 func Machines() []Machine { return memsim.Machines() }
 
-// MachineByName resolves a profile by its Figure-3 legend name.
+// MachineByName resolves a profile by its Figure-3 legend name, the
+// "modern" extension profile, or "host" — the calibrated profile of
+// the running machine, loaded through the calibration-file search path
+// (see CalibrationSearchPath).
 func MachineByName(name string) (Machine, error) { return memsim.MachineByName(name) }
+
+// ---------------------------------------------------------------------
+// Host calibration: the paper's Calibrator (§3.4.3) reborn. Calibrate
+// measures the real cache/TLB geometry and latencies of the machine
+// executing it; the resulting profile, saved to the search path,
+// upgrades every later MachineByName("host") — and with it the
+// engine's planning decisions — from 1999's canned numbers to measured
+// reality.
+
+// CalibrateConfig sizes the calibration sweeps; use DefaultCalibration
+// for full accuracy or QuickCalibration for CI smoke runs.
+type CalibrateConfig = calibrate.Config
+
+// CalibrationReport carries the raw measured curves behind a
+// calibrated profile.
+type CalibrationReport = calibrate.Report
+
+// DefaultCalibration and QuickCalibration are the standard sweep
+// configurations.
+var (
+	DefaultCalibration = calibrate.Default
+	QuickCalibration   = calibrate.Quick
+)
+
+// Calibrate measures the running machine and returns its profile
+// (named "host") with the raw evidence curves.
+func Calibrate(cfg CalibrateConfig) (Machine, *CalibrationReport, error) {
+	return calibrate.Host(cfg)
+}
+
+// CheckCalibration verifies the calibration sanity invariants on a
+// machine profile (positive latencies, monotone by level, L1 ≤ L2).
+func CheckCalibration(m Machine) error { return calibrate.Check(m) }
+
+// SaveMachine persists a machine profile as deterministic JSON.
+func SaveMachine(m Machine, path string) error { return memsim.SaveMachineFile(m, path) }
+
+// LoadMachine reads and validates a machine profile saved by
+// SaveMachine.
+func LoadMachine(path string) (Machine, error) { return memsim.LoadMachineFile(path) }
+
+// CalibrationSearchPath lists the file locations MachineByName("host")
+// probes, in order: $MONETLITE_CALIBRATION, ./monetlite-host.json,
+// then the per-user config directory.
+func CalibrationSearchPath() []string { return memsim.HostSearchPath() }
 
 // NewSim creates a simulator for a machine profile.
 func NewSim(m Machine) (*Sim, error) { return memsim.New(m) }
@@ -246,6 +295,15 @@ type Breakdown = costmodel.Breakdown
 
 // NewCostModel returns the cost model for machine m.
 func NewCostModel(m Machine) CostModel { return costmodel.New(m) }
+
+// Residuals accumulates per-operator-kind predicted-vs-actual ratios
+// from profiled runs (QueryResult.Profile.Residuals); feed the result
+// to CostModel.WithResiduals so future predictions carry the learned
+// corrections.
+type Residuals = costmodel.Residuals
+
+// NewResiduals returns an empty accumulator bound to a machine name.
+func NewResiduals(machine string) *Residuals { return costmodel.NewResiduals(machine) }
 
 // ScanResult is one point of the Figure-3 stride-scan experiment.
 type ScanResult = scan.Result

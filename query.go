@@ -63,13 +63,16 @@ func Div(l, r MeasureExpr) MeasureExpr { return engine.BinExpr{Op: '/', L: l, R:
 // plans (unknown columns, type mismatches) surface as errors from
 // Plan/Explain/Run.
 type QueryBuilder struct {
-	root    engine.Node
-	machine Machine
-	opt     Options
-	hasMach bool
-	noPipe  bool
-	aggStr  string
-	analyze bool
+	root     engine.Node
+	machine  Machine
+	model    *CostModel
+	opt      Options
+	hasMach  bool
+	noPipe   bool
+	noReplan bool
+	replanF  float64
+	aggStr   string
+	analyze  bool
 }
 
 // Query starts a plan with a scan of a decomposed table.
@@ -81,6 +84,31 @@ func Query(t *Table) *QueryBuilder {
 // planning (default: Origin2000, the paper's platform).
 func (q *QueryBuilder) On(m Machine) *QueryBuilder {
 	q.machine, q.hasMach = m, true
+	return q
+}
+
+// CostModel plans with a fully configured cost model instead of a bare
+// machine profile — typically a host-calibrated machine with learned
+// per-operator-kind corrections applied (see NewCostModel and
+// CostModel.WithResiduals). Overrides On.
+func (q *QueryBuilder) CostModel(m *CostModel) *QueryBuilder {
+	q.model = m
+	return q
+}
+
+// Replan sets the mid-query re-optimization threshold: when the
+// observed cardinality at a materialization boundary diverges from the
+// planner's estimate by more than the given factor in either
+// direction, the remaining operators are re-planned with the observed
+// value. factor ≤ 0 disables replanning; 0 < factor ≤ 1 is rejected at
+// Plan time; the default is 4. Results are byte-identical with
+// replanning on or off — only strategy choices may change.
+func (q *QueryBuilder) Replan(factor float64) *QueryBuilder {
+	if factor <= 0 {
+		q.noReplan, q.replanF = true, 0
+	} else {
+		q.noReplan, q.replanF = false, factor
+	}
 	return q
 }
 
@@ -191,7 +219,8 @@ func (q *QueryBuilder) Limit(n int) *QueryBuilder {
 
 // Plan lowers the accumulated logical DAG into a physical plan.
 func (q *QueryBuilder) Plan() (*QueryPlan, error) {
-	cfg := engine.Config{Opt: q.opt, NoPipeline: q.noPipe, ForceGroup: q.aggStr}
+	cfg := engine.Config{Opt: q.opt, NoPipeline: q.noPipe, ForceGroup: q.aggStr,
+		Model: q.model, NoReplan: q.noReplan, ReplanFactor: q.replanF}
 	if q.hasMach {
 		cfg.Machine = q.machine
 	}
